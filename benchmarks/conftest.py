@@ -1,0 +1,22 @@
+"""Shared benchmark plumbing.
+
+Each benchmark module regenerates one paper table/figure.  The heavy
+experiment functions run once per benchmark (``pedantic`` with a single
+round) — the timing numbers then reflect the cost of regenerating the
+figure, and the printed report carries the reproduced rows/series.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under the benchmark clock."""
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        warmup_rounds=0,
+    )
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,95 @@
+"""Outdoor V2X-style scenario with a ray-traced environment.
+
+A roadside gNB serves a vehicle driving past a glass-fronted building —
+the paper's outdoor deployment (Fig. 13c).  The building face provides
+the reflection that keeps the multi-beam alive when pedestrians block the
+direct path.  Channels are ray-traced with the 2-D image-method tracer at
+every step, so path angles, delays, and losses all follow the geometry.
+
+Run:  python examples/outdoor_v2x.py
+"""
+
+import numpy as np
+
+from repro.channel.blockage import random_blockage_schedule
+from repro.channel.environment import Environment, Reflector
+from repro.channel.mobility import WaypointTrajectory
+from repro.experiments.common import TESTBED_ULA, make_manager
+from repro.sim.link import LinkSimulator
+from repro.sim.scenarios import GeometricScenario
+
+
+def build_scenario(seed: int) -> GeometricScenario:
+    # A 60 m glass building face north of the road.
+    building = Reflector(
+        start=(-10.0, 18.0), end=(50.0, 18.0), material="glass"
+    )
+    environment = Environment(
+        reflectors=(building,), carrier_frequency_hz=28e9, name="street"
+    )
+    # The vehicle drives 14 m past the gNB over 2 seconds (~25 km/h).
+    trajectory = WaypointTrajectory(
+        times_s=(0.0, 2.0),
+        positions=((16.0, 6.0), (30.0, 6.0)),
+        orientations_rad=(np.pi, np.pi),
+    )
+    # Pedestrians occasionally block the direct path.
+    blockage = random_blockage_schedule(
+        num_paths=2,
+        observation_s=2.0,
+        num_events=2,
+        depth_db=28.0,
+        block_strongest_only=True,
+        rng=seed,
+    )
+    return GeometricScenario(
+        environment=environment,
+        array=TESTBED_ULA,
+        tx_position=(0.0, 5.0),
+        trajectory=trajectory,
+        tx_boresight_rad=0.2,
+        blockage=blockage,
+        extra_loss_db=12.0,
+        name="v2x-street",
+    )
+
+
+def main() -> None:
+    print("outdoor V2X: vehicle driving past a glass building, 2 s run")
+    print()
+    header = f"{'system':<28s}{'reliability':>12s}{'throughput':>14s}{'trainings':>11s}"
+    print(header)
+    print("-" * len(header))
+    for kind, label in (
+        ("mmreliable", "mmReliable multi-beam"),
+        ("beamspy", "BeamSpy single beam"),
+        ("reactive", "reactive single beam"),
+        ("widebeam", "wide sector beam"),
+    ):
+        metrics_list = []
+        for seed in range(3):
+            simulator = LinkSimulator(
+                scenario=build_scenario(seed),
+                manager=make_manager(kind, seed),
+                duration_s=2.0,
+            )
+            metrics_list.append(simulator.run().metrics())
+        reliability = np.mean([m.reliability for m in metrics_list])
+        throughput = np.mean(
+            [m.mean_throughput_bps for m in metrics_list]
+        )
+        trainings = np.mean([m.training_rounds for m in metrics_list])
+        print(
+            f"{label:<28s}{reliability:12.3f}"
+            f"{throughput / 1e9:11.2f} Gbps{trainings:11.1f}"
+        )
+    print()
+    print(
+        "the building reflection sustains mmReliable through pedestrian "
+        "blockage; single-beam systems drop and pay for re-training "
+        "while the vehicle keeps moving."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Quickstart: create a constructive multi-beam and measure its gain.
+
+Builds the paper's canonical indoor channel (7 m LOS plus a -5 dB
+reflection at 30 degrees), estimates the per-beam relative gains with the
+CFO-robust two-probe method, synthesizes the constructive multi-beam, and
+compares its SNR against a conventional single beam and the per-antenna
+oracle.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.arrays import UniformLinearArray, single_beam_weights
+from repro.channel.impairments import CfoSfoModel
+from repro.core.multibeam import MultiBeam, optimal_mrt_weights
+from repro.core.probing import ProbeController
+from repro.phy.ofdm import ChannelSounder, OfdmConfig
+from repro.sim.scenarios import two_path_channel
+
+
+def main() -> None:
+    # The testbed's azimuth array: 8 elements, 28 GHz, lambda/2 spacing.
+    array = UniformLinearArray(num_elements=8)
+
+    # A 7 m indoor link: LOS at 0 deg plus a -5 dB wall reflection at
+    # 30 deg with ~1 rad of relative phase.
+    channel = two_path_channel(
+        array, delta_db=-5.0, sigma_rad=1.0, distance_m=7.0
+    )
+
+    # An NR-style OFDM sounder with CFO/SFO impairments on every probe —
+    # the reason the estimator works from magnitudes only.  (100 MHz keeps
+    # the per-subcarrier phases coherent across the band, as in the
+    # paper's outdoor USRP configuration; see Fig. 15c for the 400 MHz
+    # wideband handling.)
+    config = OfdmConfig(bandwidth_hz=100e6, num_subcarriers=64)
+    sounder = ChannelSounder(
+        config=config, cfo_model=CfoSfoModel(rng=1), rng=0
+    )
+
+    # Step 1 — beam training would find the two directions; here we know
+    # them and probe the relative amplitude/phase (2 extra probes).
+    controller = ProbeController(array=array, sounder=sounder)
+    angles = [0.0, np.deg2rad(30.0)]
+    estimate = controller.estimate_relative_gains(channel, angles)
+    gain = estimate.relative_gains[1]
+    print("two-probe estimate of the reflection's relative channel:")
+    print(f"  amplitude {20 * np.log10(abs(gain)):6.2f} dB (true -5.0 dB)")
+    print(f"  phase     {np.angle(gain):6.2f} rad (true  1.00 rad)")
+
+    # Step 2 — synthesize the constructive multi-beam (Eq. 10).
+    multibeam = MultiBeam(
+        array=array,
+        angles_rad=tuple(angles),
+        relative_gains=estimate.relative_gains,
+    )
+
+    # Step 3 — compare link SNR.
+    single = sounder.link_snr_db(channel, single_beam_weights(array, 0.0))
+    multi = sounder.link_snr_db(channel, multibeam.weights().vector)
+    oracle = sounder.link_snr_db(channel, optimal_mrt_weights(channel))
+    print()
+    print("link SNR through each beamformer:")
+    print(f"  single beam          {single:6.2f} dB")
+    print(f"  constructive 2-beam  {multi:6.2f} dB  (gain {multi - single:+.2f} dB)")
+    print(f"  per-antenna oracle   {oracle:6.2f} dB")
+    print()
+    print(
+        "the multi-beam matches the oracle using 2 probes instead of a "
+        "per-antenna channel scan - and it survives blocking either path."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""VR headset scenario: sustained throughput under motion and blockage.
+
+The paper's motivating application: a VR headset needs both multi-Gbps
+throughput and zero interruptions.  This example runs a 2-second indoor
+session in which the user moves (the paper's 1.5 m/s cart speed) while a
+bystander walks through the link, and compares mmReliable's maintained
+multi-beam against the reactive single-beam baseline.
+
+Run:  python examples/vr_headset_link.py
+"""
+
+import numpy as np
+
+from repro.channel.blockage import HumanBlocker
+from repro.experiments.common import TESTBED_ULA, make_manager
+from repro.phy.mcs import OUTAGE_SNR_DB
+from repro.sim.link import LinkSimulator
+from repro.sim.scenarios import SyntheticScenario, two_path_channel
+
+
+def build_scenario() -> SyntheticScenario:
+    """Indoor 7 m link; user translates; a bystander crosses both beams."""
+    base = two_path_channel(TESTBED_ULA, delta_db=-4.0)
+    blocker = HumanBlocker(
+        distance_from_tx_m=3.5,
+        speed_mps=1.2,
+        body_width_m=0.45,
+        lateral_start_m=-0.8,
+        depth_db=26.0,
+    )
+    schedule = blocker.crossing_schedule(
+        [p.aod_rad for p in base.paths], start_time_s=0.3
+    )
+    return SyntheticScenario(
+        base_channel=base,
+        angular_rates_rad_s=(1.5 / 7.0, 0.6 * 1.5 / 7.0),
+        blockage=schedule,
+        name="vr-session",
+    )
+
+
+def run(kind: str, label: str) -> None:
+    simulator = LinkSimulator(
+        scenario=build_scenario(),
+        manager=make_manager(kind, seed=0),
+        duration_s=2.0,
+    )
+    trace = simulator.run()
+    metrics = trace.metrics()
+    outage_ms = 1e3 * np.mean(trace.snr_db < OUTAGE_SNR_DB) * 2.0
+    stall_events = int(
+        np.sum(np.diff((trace.snr_db < OUTAGE_SNR_DB).astype(int)) == 1)
+    )
+    print(f"{label}")
+    print(f"  reliability          {metrics.reliability:6.3f}")
+    print(f"  mean throughput      {metrics.mean_throughput_bps / 1e9:6.2f} Gbps")
+    print(f"  time in outage       {outage_ms:6.1f} ms")
+    print(f"  visible stalls       {stall_events}")
+    print(f"  beam trainings       {metrics.training_rounds}")
+    print()
+
+
+def main() -> None:
+    print("2-second VR session: user moving at 1.5 m/s, bystander walking")
+    print("through the link (blocks the reflection, then the LOS).")
+    print()
+    run("mmreliable", "mmReliable (proactive multi-beam)")
+    run("reactive", "reactive single beam")
+    print(
+        "a VR frame stalls whenever the link drops: the multi-beam absorbs "
+        "both crossings, while the single beam freezes the scene until "
+        "beam-failure recovery completes."
+    )
+
+
+if __name__ == "__main__":
+    main()

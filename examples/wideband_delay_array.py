@@ -1,0 +1,74 @@
+"""Delay phased array walkthrough (paper Section 3.4).
+
+Shows the wideband problem — a frequency-flat multi-beam over a channel
+with multipath delay spread develops destructive notches across the band
+— and how true-time-delay lines behind per-beam sub-arrays flatten the
+response.
+
+Run:  python examples/wideband_delay_array.py
+"""
+
+import numpy as np
+
+from repro.arrays import UniformLinearArray
+from repro.core.delay_opt import (
+    band_response_db,
+    build_delay_array,
+    compensating_delays,
+    flatness_db,
+)
+from repro.sim.scenarios import two_path_channel
+
+
+def ascii_plot(freqs_hz, response_db, width: int = 64, height: int = 10) -> str:
+    """A small ASCII rendering of response vs frequency."""
+    response = np.asarray(response_db)
+    lo, hi = response.min(), response.max()
+    if hi - lo < 1.0:
+        hi = lo + 1.0
+    columns = np.linspace(0, len(response) - 1, width).astype(int)
+    rows = []
+    for level in np.linspace(hi, lo, height):
+        row = "".join(
+            "#" if response[c] >= level else " " for c in columns
+        )
+        rows.append(f"  {level:7.1f} dB |{row}|")
+    rows.append(
+        f"             {freqs_hz[0] / 1e6:+.0f} MHz"
+        + " " * (width - 16)
+        + f"{freqs_hz[-1] / 1e6:+.0f} MHz"
+    )
+    return "\n".join(rows)
+
+
+def main() -> None:
+    array = UniformLinearArray(num_elements=8)
+    # Two equal paths, 10 ns apart: the worst case for a flat multi-beam.
+    channel = two_path_channel(
+        array, delta_db=0.0, excess_delay_s=10e-9
+    )
+    freqs = np.linspace(-200e6, 200e6, 201)
+
+    print("channel: two equal paths, 10 ns delay spread, 400 MHz band")
+    print()
+    delays = compensating_delays([p.delay_s for p in channel.paths])
+    print(
+        "compensating delays per sub-array: "
+        + ", ".join(f"{d * 1e9:.1f} ns" for d in delays)
+    )
+    print()
+    for compensate, label in ((False, "uncompensated multi-beam"),
+                              (True, "delay-optimized multi-beam")):
+        dpa = build_delay_array(array, channel, 2, compensate=compensate)
+        response = band_response_db(dpa, channel, freqs)
+        print(f"{label}: ripple {flatness_db(response):.1f} dB")
+        print(ascii_plot(freqs, np.maximum(response, response.max() - 40)))
+        print()
+    print(
+        "the uncompensated pattern notches every 1/10ns = 100 MHz; the "
+        "delay lines re-align the two copies in time and flatten the band."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""mmReliable: reliable, high-throughput multi-beam mmWave links.
+
+A full reproduction of "Two beams are better than one: Towards Reliable
+and High Throughput mmWave Links" (Jain, Subbaraman, Bharadia — SIGCOMM
+2021) as a Python library.  The public API re-exports the pieces most
+users need; see the subpackages for the full surface:
+
+* :mod:`repro.arrays` — phased-array geometry, steering, patterns,
+  quantization, and the delay phased array.
+* :mod:`repro.channel` — sparse geometric mmWave channels, ray-traced
+  environments, blockage, mobility, impairments.
+* :mod:`repro.phy` — 5G NR numerology, OFDM sounding, MCS mapping, probe
+  overhead accounting.
+* :mod:`repro.beamtraining` — exhaustive and hierarchical trainers.
+* :mod:`repro.core` — the mmReliable algorithms: constructive multi-beam,
+  two-probe estimation, super-resolution, tracking, blockage response,
+  and the beam-maintenance state machine.
+* :mod:`repro.baselines` — reactive single beam, BeamSpy, wide beam, and
+  the genie MRT oracle.
+* :mod:`repro.sim` — scenarios, the link simulator, and metrics.
+* :mod:`repro.experiments` — one module per paper figure/table.
+"""
+
+from repro.arrays import UniformLinearArray, UniformPlanarArray
+from repro.core.maintenance import MultiBeamManager
+from repro.core.multibeam import MultiBeam, constructive_multibeam
+from repro.phy.ofdm import ChannelSounder, OfdmConfig
+from repro.sim.link import LinkSimulator
+from repro.sim.metrics import LinkMetrics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "UniformLinearArray",
+    "UniformPlanarArray",
+    "MultiBeam",
+    "constructive_multibeam",
+    "MultiBeamManager",
+    "ChannelSounder",
+    "OfdmConfig",
+    "LinkSimulator",
+    "LinkMetrics",
+    "__version__",
+]

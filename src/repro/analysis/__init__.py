@@ -1,0 +1,10 @@
+"""Analysis utilities: link budgets and coverage estimates.
+
+Not part of the paper's algorithms, but the arithmetic every mmWave
+system designer runs before deploying one — exposed so users of the
+library can sanity-check scenario parameters against first principles.
+"""
+
+from repro.analysis.link_budget import LinkBudget, max_range_m
+
+__all__ = ["LinkBudget", "max_range_m"]

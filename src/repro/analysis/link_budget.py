@@ -1,0 +1,105 @@
+"""First-principles mmWave link budgets.
+
+Ties together the pieces the substrates implement separately — transmit
+power, array gains, path loss, atmospheric absorption, noise — into the
+standard budget:
+
+    SNR = P_tx + G_tx + G_rx - PL(d) - A(d) - implementation - N_floor
+
+Used to sanity-check scenario parameters (e.g. "why is the 7 m indoor
+link at ~26 dB SNR?") and to size deployments (max range at a target
+MCS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from scipy.optimize import brentq
+
+from repro.channel.pathloss import (
+    atmospheric_absorption_db_per_km,
+    friis_path_loss_db,
+)
+from repro.channel.impairments import thermal_noise_dbm
+from repro.phy.mcs import OUTAGE_SNR_DB, select_mcs
+
+
+@dataclass(frozen=True)
+class LinkBudget:
+    """A point-to-point mmWave link budget.
+
+    Parameters mirror the paper's testbed defaults: 30 dBm transmit
+    power, an 8-element azimuth beam (9 dB), a quasi-omni UE, 400 MHz of
+    bandwidth, and a 7 dB receiver noise figure.
+    """
+
+    carrier_frequency_hz: float = 28e9
+    transmit_power_dbm: float = 30.0
+    tx_gain_db: float = 9.0
+    rx_gain_db: float = 0.0
+    bandwidth_hz: float = 400e6
+    noise_figure_db: float = 7.0
+    implementation_loss_db: float = 16.0
+
+    def __post_init__(self) -> None:
+        if self.carrier_frequency_hz <= 0:
+            raise ValueError("carrier_frequency_hz must be positive")
+        if self.bandwidth_hz <= 0:
+            raise ValueError("bandwidth_hz must be positive")
+
+    @property
+    def noise_floor_dbm(self) -> float:
+        return thermal_noise_dbm(self.bandwidth_hz, self.noise_figure_db)
+
+    def received_power_dbm(self, distance_m: float) -> float:
+        """Received signal power [dBm] at ``distance_m``."""
+        loss = friis_path_loss_db(distance_m, self.carrier_frequency_hz)
+        loss += atmospheric_absorption_db_per_km(
+            self.carrier_frequency_hz
+        ) * (distance_m / 1000.0)
+        return (
+            self.transmit_power_dbm
+            + self.tx_gain_db
+            + self.rx_gain_db
+            - loss
+            - self.implementation_loss_db
+        )
+
+    def snr_db(self, distance_m: float) -> float:
+        """Link SNR [dB] at ``distance_m``."""
+        return self.received_power_dbm(distance_m) - self.noise_floor_dbm
+
+    def margin_db(self, distance_m: float) -> float:
+        """Headroom above the NR outage threshold (negative = dead)."""
+        return self.snr_db(distance_m) - OUTAGE_SNR_DB
+
+    def mcs_at(self, distance_m: float):
+        """The MCS the link supports at ``distance_m`` (None in outage)."""
+        return select_mcs(self.snr_db(distance_m))
+
+    def spectral_efficiency_at(self, distance_m: float) -> float:
+        entry = self.mcs_at(distance_m)
+        return 0.0 if entry is None else entry.spectral_efficiency
+
+
+def max_range_m(
+    budget: LinkBudget,
+    target_snr_db: float = OUTAGE_SNR_DB,
+    max_search_m: float = 10_000.0,
+) -> float:
+    """Largest distance at which the budget still meets ``target_snr_db``.
+
+    Monotone bisection; raises if even 1 m cannot meet the target.
+    """
+    if budget.snr_db(1.0) < target_snr_db:
+        raise ValueError(
+            f"link cannot reach {target_snr_db} dB SNR even at 1 m"
+        )
+    if budget.snr_db(max_search_m) >= target_snr_db:
+        return max_search_m
+
+    def objective(distance: float) -> float:
+        return budget.snr_db(distance) - target_snr_db
+
+    return float(brentq(objective, 1.0, max_search_m))

@@ -1,0 +1,57 @@
+"""Phased-array substrate: geometry, steering, weights, patterns, codebooks.
+
+This package models the 28 GHz 64-element (8x8) analog phased array used by
+the mmReliable testbed.  Only azimuth beamforming is exercised by the paper
+(elevation weights are held constant), so the primary abstraction is the
+:class:`~repro.arrays.geometry.UniformLinearArray`; the planar array reduces
+to it for azimuth-only patterns.
+"""
+
+from repro.arrays.geometry import UniformLinearArray, UniformPlanarArray
+from repro.arrays.steering import steering_vector, single_beam_weights
+from repro.arrays.weights import BeamWeights, WeightQuantizer
+from repro.arrays.patterns import (
+    array_factor,
+    beam_pattern_db,
+    ula_power_pattern,
+    ula_power_pattern_db,
+    half_power_beamwidth,
+    invert_pattern_offset,
+)
+from repro.arrays.codebook import Codebook, uniform_codebook
+from repro.arrays.delay_array import DelayPhasedArray, SubArray
+from repro.arrays.hybrid import (
+    HybridBeamformer,
+    multiuser_multibeam,
+    multiuser_single_beam,
+)
+from repro.arrays.planar import (
+    planar_steering_vector,
+    planar_single_beam_weights,
+    planar_constructive_multibeam,
+)
+
+__all__ = [
+    "UniformLinearArray",
+    "UniformPlanarArray",
+    "steering_vector",
+    "single_beam_weights",
+    "BeamWeights",
+    "WeightQuantizer",
+    "array_factor",
+    "beam_pattern_db",
+    "ula_power_pattern",
+    "ula_power_pattern_db",
+    "half_power_beamwidth",
+    "invert_pattern_offset",
+    "Codebook",
+    "uniform_codebook",
+    "DelayPhasedArray",
+    "SubArray",
+    "HybridBeamformer",
+    "multiuser_multibeam",
+    "multiuser_single_beam",
+    "planar_steering_vector",
+    "planar_single_beam_weights",
+    "planar_constructive_multibeam",
+]

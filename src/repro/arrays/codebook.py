@@ -1,0 +1,90 @@
+"""Beam codebooks for beam training.
+
+Practical phased arrays store a finite codebook of pre-computed single-beam
+weights covering the field of view (Section 5.1 notes 64-1024 directions in
+deployed systems).  Beam training scans this codebook; multi-beams are then
+synthesized on the fly as linear combinations of codebook entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.arrays.geometry import UniformLinearArray
+from repro.arrays.steering import single_beam_weights
+from repro.arrays.weights import BeamWeights
+
+
+@dataclass(frozen=True)
+class Codebook:
+    """An ordered set of (steering angle, single-beam weights) entries."""
+
+    array: UniformLinearArray
+    angles_rad: np.ndarray
+    entries: Tuple[BeamWeights, ...]
+
+    def __post_init__(self) -> None:
+        angles = np.asarray(self.angles_rad, dtype=float)
+        if angles.ndim != 1:
+            raise ValueError(f"angles must be 1-D, got shape {angles.shape}")
+        if len(self.entries) != angles.shape[0]:
+            raise ValueError(
+                f"{len(self.entries)} entries for {angles.shape[0]} angles"
+            )
+        object.__setattr__(self, "angles_rad", angles)
+        self.angles_rad.setflags(write=False)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[Tuple[float, BeamWeights]]:
+        return iter(zip(self.angles_rad.tolist(), self.entries))
+
+    def __getitem__(self, index: int) -> Tuple[float, BeamWeights]:
+        return float(self.angles_rad[index]), self.entries[index]
+
+    def nearest_index(self, angle_rad: float) -> int:
+        """Index of the codebook entry steered closest to ``angle_rad``."""
+        return int(np.argmin(np.abs(self.angles_rad - angle_rad)))
+
+    def weights_for(self, angle_rad: float) -> BeamWeights:
+        """Weights of the entry closest to ``angle_rad``."""
+        return self.entries[self.nearest_index(angle_rad)]
+
+
+def uniform_codebook(
+    array: UniformLinearArray,
+    num_beams: int,
+    field_of_view_rad: float = np.deg2rad(120.0),
+) -> Codebook:
+    """A codebook of ``num_beams`` beams uniformly spanning the field of view.
+
+    The field of view is centered on broadside, matching the paper's 120
+    degree scans.
+    """
+    if num_beams < 1:
+        raise ValueError(f"num_beams must be >= 1, got {num_beams!r}")
+    if not 0 < field_of_view_rad <= np.pi:
+        raise ValueError(
+            f"field_of_view_rad must be in (0, pi], got {field_of_view_rad!r}"
+        )
+    half = field_of_view_rad / 2.0
+    angles = np.linspace(-half, half, num_beams)
+    entries = tuple(
+        BeamWeights(single_beam_weights(array, angle)) for angle in angles
+    )
+    return Codebook(array=array, angles_rad=angles, entries=entries)
+
+
+def angles_to_codebook(
+    array: UniformLinearArray, angles_rad: Sequence[float]
+) -> Codebook:
+    """A codebook with one entry per explicitly requested angle."""
+    angles = np.asarray(list(angles_rad), dtype=float)
+    entries = tuple(
+        BeamWeights(single_beam_weights(array, angle)) for angle in angles
+    )
+    return Codebook(array=array, angles_rad=angles, entries=entries)

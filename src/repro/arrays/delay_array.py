@@ -1,0 +1,164 @@
+"""Delay phased array (paper Section 3.4).
+
+A conventional multi-beam applies one frequency-flat weight vector, so when
+the constituent channel paths have different times of flight the two signal
+copies interfere with a frequency-dependent phase — constructive at some
+subcarriers, destructive at others (Fig. 7/8).  The delay phased array
+splits the aperture into sub-arrays, one per beam, and inserts a true time
+delay line behind each sub-array.  Setting each delay to cancel its path's
+excess ToF makes the combined response flat across the whole band.
+
+In the frequency domain a true time delay ``tau`` multiplies the sub-array's
+weights by ``exp(-j 2 pi f tau)`` at baseband frequency ``f``, which is how
+this model realizes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.arrays.geometry import UniformLinearArray
+
+
+@dataclass(frozen=True)
+class SubArray:
+    """One sub-array of a delay phased array.
+
+    Parameters
+    ----------
+    element_slice:
+        ``(start, stop)`` element index range within the parent ULA.
+    steer_angle_rad:
+        Direction this sub-array's beam points.
+    delay_s:
+        True time delay applied behind the sub-array.
+    gain:
+        Complex per-beam gain (amplitude and phase control), applied on top
+        of the steering weights.
+    """
+
+    element_slice: Tuple[int, int]
+    steer_angle_rad: float
+    delay_s: float = 0.0
+    gain: complex = 1.0 + 0.0j
+
+    @property
+    def num_elements(self) -> int:
+        return self.element_slice[1] - self.element_slice[0]
+
+
+@dataclass(frozen=True)
+class DelayPhasedArray:
+    """A ULA partitioned into delay-line-backed sub-arrays.
+
+    Use :meth:`split_uniform` to build the paper's configuration: the
+    aperture divided evenly with one sub-array (and one beam) per path.
+    """
+
+    array: UniformLinearArray
+    subarrays: Tuple[SubArray, ...]
+
+    def __post_init__(self) -> None:
+        covered = np.zeros(self.array.num_elements, dtype=bool)
+        for sub in self.subarrays:
+            start, stop = sub.element_slice
+            if not 0 <= start < stop <= self.array.num_elements:
+                raise ValueError(
+                    f"sub-array slice {sub.element_slice} outside array of "
+                    f"{self.array.num_elements} elements"
+                )
+            if covered[start:stop].any():
+                raise ValueError("sub-arrays overlap")
+            covered[start:stop] = True
+
+    @classmethod
+    def split_uniform(
+        cls,
+        array: UniformLinearArray,
+        steer_angles_rad: Sequence[float],
+        delays_s: Sequence[float] = None,
+        gains: Sequence[complex] = None,
+    ) -> "DelayPhasedArray":
+        """Divide ``array`` evenly into one sub-array per steering angle."""
+        angles = list(steer_angles_rad)
+        num_beams = len(angles)
+        if num_beams < 1:
+            raise ValueError("need at least one steering angle")
+        if array.num_elements % num_beams != 0:
+            raise ValueError(
+                f"{array.num_elements} elements do not split evenly into "
+                f"{num_beams} sub-arrays"
+            )
+        if delays_s is None:
+            delays_s = [0.0] * num_beams
+        if gains is None:
+            gains = [1.0 + 0.0j] * num_beams
+        if len(delays_s) != num_beams or len(gains) != num_beams:
+            raise ValueError("delays_s and gains must match steer_angles_rad")
+        per = array.num_elements // num_beams
+        subs = tuple(
+            SubArray(
+                element_slice=(k * per, (k + 1) * per),
+                steer_angle_rad=float(angles[k]),
+                delay_s=float(delays_s[k]),
+                gain=complex(gains[k]),
+            )
+            for k in range(num_beams)
+        )
+        return cls(array=array, subarrays=subs)
+
+    def with_delays(self, delays_s: Sequence[float]) -> "DelayPhasedArray":
+        """A copy with the per-sub-array delays replaced."""
+        if len(delays_s) != len(self.subarrays):
+            raise ValueError(
+                f"expected {len(self.subarrays)} delays, got {len(delays_s)}"
+            )
+        subs = tuple(
+            SubArray(
+                element_slice=sub.element_slice,
+                steer_angle_rad=sub.steer_angle_rad,
+                delay_s=float(delay),
+                gain=sub.gain,
+            )
+            for sub, delay in zip(self.subarrays, delays_s)
+        )
+        return DelayPhasedArray(array=self.array, subarrays=subs)
+
+    def weights_at(self, baseband_frequency_hz: float = 0.0) -> np.ndarray:
+        """The effective unit-norm weight vector at one baseband frequency.
+
+        Each sub-array contributes its steering weights (phase-conjugated
+        toward its angle, as in Eq. 17) scaled by its complex gain and the
+        delay-line phase ``exp(-j 2 pi f tau)``.
+        """
+        weights = np.zeros(self.array.num_elements, dtype=complex)
+        n = np.arange(self.array.num_elements)
+        for sub in self.subarrays:
+            start, stop = sub.element_slice
+            # Eq. (17): phase progression uses the *global* element index so
+            # the sub-array points at its angle within the shared aperture.
+            phase = (
+                2.0
+                * np.pi
+                * self.array.spacing_wavelengths
+                * n[start:stop]
+                * np.sin(sub.steer_angle_rad)
+            )
+            delay_phase = -2.0 * np.pi * baseband_frequency_hz * sub.delay_s
+            weights[start:stop] = (
+                sub.gain * np.exp(1j * (phase + delay_phase))
+            )
+        norm = np.linalg.norm(weights)
+        if norm == 0:
+            raise ValueError("all sub-array gains are zero")
+        return weights / norm
+
+    def weights_over_band(self, baseband_frequencies_hz: np.ndarray) -> np.ndarray:
+        """Weight vectors across a frequency grid, shape ``(F, N)``."""
+        freqs = np.asarray(baseband_frequencies_hz, dtype=float)
+        return np.stack([self.weights_at(f) for f in freqs.ravel()]).reshape(
+            freqs.shape + (self.array.num_elements,)
+        )

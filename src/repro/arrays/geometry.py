@@ -1,0 +1,121 @@
+"""Antenna array geometries.
+
+The paper's testbed is an 8x8 uniform planar array with half-wavelength
+spacing, beamformed only in azimuth (all elevation weights equal).  Under
+that constraint the planar array behaves exactly like an 8-element uniform
+linear array (ULA) with an extra fixed elevation gain, so the ULA is the
+workhorse geometry of this reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils import wavelength as carrier_wavelength
+from repro.utils.validation import check_positive
+
+#: Carrier frequency of the paper's testbed [Hz].
+DEFAULT_CARRIER_HZ = 28e9
+
+
+@dataclass(frozen=True)
+class UniformLinearArray:
+    """A uniform linear array of isotropic elements along the x-axis.
+
+    Parameters
+    ----------
+    num_elements:
+        Number of antenna elements ``N``.
+    carrier_frequency_hz:
+        Carrier frequency used to compute the wavelength.
+    spacing_wavelengths:
+        Element spacing as a fraction of the carrier wavelength
+        (``d = spacing_wavelengths * lambda``; the testbed uses ``1/2``).
+    """
+
+    num_elements: int
+    carrier_frequency_hz: float = DEFAULT_CARRIER_HZ
+    spacing_wavelengths: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.num_elements < 1:
+            raise ValueError(
+                f"num_elements must be >= 1, got {self.num_elements!r}"
+            )
+        check_positive("carrier_frequency_hz", self.carrier_frequency_hz)
+        check_positive("spacing_wavelengths", self.spacing_wavelengths)
+
+    @property
+    def wavelength(self) -> float:
+        """Carrier wavelength λ [m]."""
+        return carrier_wavelength(self.carrier_frequency_hz)
+
+    @property
+    def element_spacing(self) -> float:
+        """Physical element spacing d [m]."""
+        return self.spacing_wavelengths * self.wavelength
+
+    @property
+    def aperture(self) -> float:
+        """Physical length of the array [m]."""
+        return (self.num_elements - 1) * self.element_spacing
+
+    def element_positions(self) -> np.ndarray:
+        """x-coordinates of each element [m], first element at the origin."""
+        return np.arange(self.num_elements) * self.element_spacing
+
+    def max_gain_dbi(self) -> float:
+        """Peak broadside array gain, ``10 log10(N)`` for isotropic elements."""
+        return 10.0 * np.log10(self.num_elements)
+
+
+@dataclass(frozen=True)
+class UniformPlanarArray:
+    """A uniform planar array (azimuth x elevation grid).
+
+    The paper only steers in azimuth; :meth:`azimuth_ula` returns the
+    equivalent linear array that all beamforming code operates on, while
+    :meth:`elevation_gain_db` accounts for the fixed elevation aperture in
+    link budgets.
+    """
+
+    num_azimuth: int
+    num_elevation: int
+    carrier_frequency_hz: float = DEFAULT_CARRIER_HZ
+    spacing_wavelengths: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.num_azimuth < 1 or self.num_elevation < 1:
+            raise ValueError(
+                "num_azimuth and num_elevation must be >= 1, got "
+                f"{self.num_azimuth!r} x {self.num_elevation!r}"
+            )
+        check_positive("carrier_frequency_hz", self.carrier_frequency_hz)
+        check_positive("spacing_wavelengths", self.spacing_wavelengths)
+
+    @property
+    def num_elements(self) -> int:
+        """Total element count (64 for the paper's 8x8 array)."""
+        return self.num_azimuth * self.num_elevation
+
+    def azimuth_ula(self) -> UniformLinearArray:
+        """The azimuth-cut ULA used for all beam steering."""
+        return UniformLinearArray(
+            num_elements=self.num_azimuth,
+            carrier_frequency_hz=self.carrier_frequency_hz,
+            spacing_wavelengths=self.spacing_wavelengths,
+        )
+
+    def elevation_gain_db(self) -> float:
+        """Fixed gain contributed by the (unsteered) elevation dimension."""
+        return 10.0 * np.log10(self.num_elevation)
+
+    def max_gain_dbi(self) -> float:
+        """Peak broadside gain of the full planar aperture."""
+        return 10.0 * np.log10(self.num_elements)
+
+
+#: The paper's testbed array: 8x8 elements at 28 GHz, lambda/2 spacing.
+TESTBED_ARRAY = UniformPlanarArray(num_azimuth=8, num_elevation=8)

@@ -1,0 +1,152 @@
+"""Hybrid beamforming: multiple RF chains over one aperture (Section 8).
+
+The paper's closing discussion: with several RF chains, each chain can
+carry its own constructive multi-beam — one user per chain — so
+mmReliable's reliability benefits extend to multi-user operation.  This
+module models a fully-connected hybrid transmitter: every chain applies
+its own analog weight vector across the full aperture and the per-chain
+signals superpose over the air.  Users therefore see inter-chain
+interference, captured by the SINR computation.
+
+Total radiated power is conserved *across* chains: each chain's weights
+are unit-norm and the per-chain transmit power is ``P_total / U``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.arrays.geometry import UniformLinearArray
+from repro.channel.geometric import GeometricChannel
+
+
+@dataclass(frozen=True)
+class HybridBeamformer:
+    """Per-chain analog weight vectors sharing one aperture."""
+
+    array: UniformLinearArray
+    chain_weights: Tuple[np.ndarray, ...]
+
+    def __post_init__(self) -> None:
+        weights = tuple(
+            np.asarray(w, dtype=complex) for w in self.chain_weights
+        )
+        if not weights:
+            raise ValueError("need at least one RF chain")
+        for w in weights:
+            if w.shape != (self.array.num_elements,):
+                raise ValueError(
+                    f"chain weights must have shape "
+                    f"({self.array.num_elements},), got {w.shape}"
+                )
+            if not np.isclose(np.linalg.norm(w), 1.0, atol=1e-6):
+                raise ValueError("each chain's weights must be unit norm")
+        object.__setattr__(self, "chain_weights", weights)
+
+    @property
+    def num_chains(self) -> int:
+        return len(self.chain_weights)
+
+    def received_powers(
+        self, channel: GeometricChannel, transmit_power_watt: float
+    ) -> np.ndarray:
+        """Power each chain's signal delivers to this channel's user.
+
+        Entry ``v`` is the narrowband received power of chain ``v``'s
+        stream at this user — the wanted signal for the serving chain,
+        interference for the others.
+        """
+        if transmit_power_watt <= 0:
+            raise ValueError("transmit_power_watt must be positive")
+        per_chain = transmit_power_watt / self.num_chains
+        powers = np.empty(self.num_chains)
+        for v, weights in enumerate(self.chain_weights):
+            response = np.sum(channel.beamformed_path_gains(weights))
+            powers[v] = per_chain * abs(response) ** 2
+        return powers
+
+    def sinr_db(
+        self,
+        user_channels: Sequence[GeometricChannel],
+        serving_chain: int,
+        transmit_power_watt: float,
+        noise_power_watt: float,
+    ) -> float:
+        """SINR of the user served by ``serving_chain``.
+
+        ``user_channels[u]`` is the channel to user ``u``; users map
+        one-to-one onto chains.
+        """
+        if len(user_channels) != self.num_chains:
+            raise ValueError(
+                f"{len(user_channels)} user channels for "
+                f"{self.num_chains} chains"
+            )
+        if not 0 <= serving_chain < self.num_chains:
+            raise IndexError(f"chain {serving_chain} out of range")
+        powers = self.received_powers(
+            user_channels[serving_chain], transmit_power_watt
+        )
+        signal = powers[serving_chain]
+        interference = float(np.sum(powers)) - signal
+        return float(
+            10.0 * np.log10(signal / (interference + noise_power_watt))
+        )
+
+    def sum_spectral_efficiency(
+        self,
+        user_channels: Sequence[GeometricChannel],
+        transmit_power_watt: float,
+        noise_power_watt: float,
+    ) -> float:
+        """Shannon sum rate over all users [bits/s/Hz]."""
+        total = 0.0
+        for chain in range(self.num_chains):
+            sinr_db = self.sinr_db(
+                user_channels, chain, transmit_power_watt, noise_power_watt
+            )
+            total += float(np.log2(1.0 + 10.0 ** (sinr_db / 10.0)))
+        return total
+
+
+def multiuser_multibeam(
+    array: UniformLinearArray,
+    user_channels: Sequence[GeometricChannel],
+    num_beams: int = 2,
+) -> HybridBeamformer:
+    """One constructive multi-beam per chain, one chain per user.
+
+    Each chain's weights come straight from
+    :func:`repro.core.multibeam.multibeam_from_channel` against that
+    user's channel — mmReliable per user, multiplexed across chains.
+    """
+    from repro.core.multibeam import multibeam_from_channel
+
+    if not user_channels:
+        raise ValueError("need at least one user channel")
+    weights = tuple(
+        multibeam_from_channel(channel, num_beams).weights().vector
+        for channel in user_channels
+    )
+    return HybridBeamformer(array=array, chain_weights=weights)
+
+
+def multiuser_single_beam(
+    array: UniformLinearArray,
+    user_channels: Sequence[GeometricChannel],
+) -> HybridBeamformer:
+    """The single-beam-per-user baseline."""
+    from repro.arrays.steering import single_beam_weights
+
+    if not user_channels:
+        raise ValueError("need at least one user channel")
+    weights = tuple(
+        single_beam_weights(
+            array, channel.strongest_paths(1)[0].aod_rad
+        )
+        for channel in user_channels
+    )
+    return HybridBeamformer(array=array, chain_weights=weights)

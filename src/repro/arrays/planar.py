@@ -1,0 +1,128 @@
+"""Full 2-D beamforming on the planar array.
+
+The paper steers only in azimuth (all elevation weights equal), which is
+why the main code path works on the azimuth ULA.  The testbed hardware is
+nonetheless an 8x8 planar array, and steering in both axes is the natural
+next step (elevated reflectors — ceilings, overpasses — live off the
+azimuth plane).  This module provides the planar steering vector, planar
+single beams, and planar constructive multi-beams, with directions given
+as (azimuth, elevation) pairs.
+
+Conventions: for element (m, n) (azimuth index m, elevation index n) and
+direction (az, el) measured from broadside,
+
+    a[m, n] = exp(-j 2 pi (d/lambda) (m sin(az) cos(el) + n sin(el))),
+
+the standard URA phase model; weights are the conjugate, flattened
+row-major (azimuth fastest) to a length ``M*N`` vector.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.arrays.geometry import UniformPlanarArray
+
+
+def planar_steering_vector(
+    array: UniformPlanarArray,
+    azimuth_rad: float,
+    elevation_rad: float,
+) -> np.ndarray:
+    """URA steering vector for a (azimuth, elevation) direction.
+
+    Returns a flattened vector of length ``num_elements`` (azimuth index
+    varies fastest).
+    """
+    m = np.arange(array.num_azimuth)
+    n = np.arange(array.num_elevation)
+    az_phase = (
+        -2j
+        * np.pi
+        * array.spacing_wavelengths
+        * m
+        * np.sin(azimuth_rad)
+        * np.cos(elevation_rad)
+    )
+    el_phase = (
+        -2j * np.pi * array.spacing_wavelengths * n * np.sin(elevation_rad)
+    )
+    grid = np.exp(el_phase)[:, None] * np.exp(az_phase)[None, :]
+    return grid.ravel()
+
+
+def planar_single_beam_weights(
+    array: UniformPlanarArray,
+    azimuth_rad: float,
+    elevation_rad: float,
+) -> np.ndarray:
+    """Unit-norm planar beam toward (azimuth, elevation)."""
+    a = planar_steering_vector(array, azimuth_rad, elevation_rad)
+    return np.conj(a) / np.sqrt(array.num_elements)
+
+
+def planar_beamforming_gain(
+    array: UniformPlanarArray,
+    weights: np.ndarray,
+    azimuth_rad: float,
+    elevation_rad: float,
+) -> complex:
+    """Complex response ``a(az, el)^T w`` of planar weights."""
+    a = planar_steering_vector(array, azimuth_rad, elevation_rad)
+    return complex(a @ np.asarray(weights, dtype=complex))
+
+
+def planar_constructive_multibeam(
+    array: UniformPlanarArray,
+    directions: Sequence[Tuple[float, float]],
+    relative_gains: Sequence[complex],
+) -> np.ndarray:
+    """Constructive multi-beam over (azimuth, elevation) directions.
+
+    The exact 2-D generalization of Eq. (10): each constituent planar
+    beam is scaled by the conjugate of its path's relative gain, and the
+    sum is renormalized to conserve TRP.
+    """
+    directions = list(directions)
+    gains = np.asarray(list(relative_gains), dtype=complex)
+    if len(directions) != gains.size:
+        raise ValueError(
+            f"{len(directions)} directions but {gains.size} gains"
+        )
+    if not directions:
+        raise ValueError("need at least one beam")
+    vector = np.zeros(array.num_elements, dtype=complex)
+    for (azimuth, elevation), gain in zip(directions, gains):
+        vector += np.conj(gain) * planar_single_beam_weights(
+            array, float(azimuth), float(elevation)
+        )
+    norm = np.linalg.norm(vector)
+    if norm == 0:
+        raise ValueError("beams cancel exactly; cannot normalize")
+    return vector / norm
+
+
+def elevation_cut_pattern_db(
+    array: UniformPlanarArray,
+    weights: np.ndarray,
+    elevations_rad: np.ndarray,
+    azimuth_rad: float = 0.0,
+    floor_db: float = -80.0,
+) -> np.ndarray:
+    """Power pattern along an elevation cut at fixed azimuth [dB]."""
+    powers = np.array(
+        [
+            abs(
+                planar_beamforming_gain(
+                    array, weights, azimuth_rad, float(el)
+                )
+            )
+            ** 2
+            for el in np.atleast_1d(elevations_rad)
+        ]
+    )
+    with np.errstate(divide="ignore"):
+        db = 10.0 * np.log10(powers)
+    return np.maximum(db, floor_db)

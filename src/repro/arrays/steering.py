@@ -1,0 +1,62 @@
+"""Steering vectors and single-beam weights (paper Eq. 5-6, Appendix A).
+
+Sign convention
+---------------
+A plane wave departing toward azimuth angle ``phi`` (measured from array
+broadside) accumulates phase *delay* across elements, so the channel's
+steering vector is
+
+    a(phi)[n] = exp(-j 2 pi (d / lambda) n sin(phi)),   n = 0..N-1
+
+and the matched single-beam weight vector is its conjugate (Eq. 6),
+
+    w_phi = a*(phi) / sqrt(N),
+
+which cancels the channel phases so all elements add coherently toward
+``phi``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arrays.geometry import UniformLinearArray
+
+
+def steering_vector(array: UniformLinearArray, angle_rad: float) -> np.ndarray:
+    """Channel steering vector ``a(phi)`` for a departure angle [rad].
+
+    Supports vectorized evaluation: if ``angle_rad`` is an array of shape
+    ``(...,)`` the result has shape ``(..., N)``.
+    """
+    angles = np.asarray(angle_rad, dtype=float)
+    n = np.arange(array.num_elements)
+    phase = (
+        -2j
+        * np.pi
+        * array.spacing_wavelengths
+        * np.multiply.outer(np.sin(angles), n)
+    )
+    return np.exp(phase)
+
+
+def single_beam_weights(array: UniformLinearArray, angle_rad: float) -> np.ndarray:
+    """Unit-norm single-beam weights ``w_phi`` steered to ``angle_rad`` (Eq. 6).
+
+    The returned vector satisfies ``||w|| == 1`` (TRP conservation) and
+    maximizes ``|a(phi)^T w|`` over all unit-norm vectors.
+    """
+    a = steering_vector(array, angle_rad)
+    return np.conj(a) / np.sqrt(array.num_elements)
+
+
+def beamforming_gain(
+    array: UniformLinearArray, weights: np.ndarray, angle_rad: float
+) -> complex:
+    """Complex array response ``a(phi)^T w`` of ``weights`` toward an angle.
+
+    ``|a^T w|^2`` is the power gain the transmitted signal picks up along a
+    channel path departing at ``angle_rad``.
+    """
+    a = steering_vector(array, angle_rad)
+    return complex(np.dot(a, np.asarray(weights)))

@@ -1,0 +1,30 @@
+"""Comparison baselines from the paper's evaluation (Section 6.2).
+
+* :class:`~repro.baselines.reactive.ReactiveSingleBeam` — the conventional
+  single-beam link with fast reactive re-training on outage (Hassanieh et
+  al. style).
+* :class:`~repro.baselines.beamspy.BeamSpySingleBeam` — single beam that
+  switches to the best alternate direction from its stored spatial profile
+  when blocked, without a full re-scan (Sur et al., BeamSpy).
+* :class:`~repro.baselines.widebeam.WideBeam` — a widened sector beam that
+  trades gain for angular robustness.
+* :class:`~repro.baselines.oracle.OracleBeam` — the per-antenna MRT
+  upper bound with genie channel knowledge.
+
+All managers share the informal protocol the simulator drives:
+``establish(channel, time_s)``, ``step(channel, time_s)``,
+``current_weights()``, plus ``budget`` and ``training_windows`` for
+overhead/reliability accounting.
+"""
+
+from repro.baselines.reactive import ReactiveSingleBeam
+from repro.baselines.beamspy import BeamSpySingleBeam
+from repro.baselines.widebeam import WideBeam
+from repro.baselines.oracle import OracleBeam
+
+__all__ = [
+    "ReactiveSingleBeam",
+    "BeamSpySingleBeam",
+    "WideBeam",
+    "OracleBeam",
+]

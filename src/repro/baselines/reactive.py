@@ -1,0 +1,98 @@
+"""Reactive single-beam baseline.
+
+The conventional mmWave link: one directional beam toward the strongest
+trained direction, no proactive maintenance.  When the SNR collapses below
+the outage threshold the baseline *reacts* with a fresh (fast,
+logarithmic-probe) beam-training sweep — during which the link carries no
+data.  This is the "Reactive baseline" of Fig. 18, modelled on fast
+beam-alignment systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.arrays.geometry import UniformLinearArray
+from repro.arrays.steering import single_beam_weights
+from repro.channel.geometric import GeometricChannel
+from repro.phy.mcs import OUTAGE_SNR_DB
+from repro.phy.ofdm import ChannelSounder
+from repro.phy.reference_signals import ProbeBudget, ssb_duration_s
+
+
+@dataclass(frozen=True)
+class BaselineReport:
+    """Per-step observation shared by all baseline managers."""
+
+    time_s: float
+    snr_db: float
+    action: str
+    probes_used: int
+
+
+@dataclass
+class ReactiveSingleBeam:
+    """Single beam + reactive re-training on outage.
+
+    ``reaction_delay_s`` models the end-to-end latency of real beam-failure
+    recovery — outage declaration timers, waiting for the next SSB training
+    opportunity, and the RACH exchange — which in deployed NR systems adds
+    up to on the order of 100 ms.  The reactive system is what it is
+    *because* this delay exists: it cannot act before the outage has been
+    detected and the recovery machinery has spun up.
+    """
+
+    array: UniformLinearArray
+    sounder: ChannelSounder
+    trainer: object
+    #: Detection + recovery latency before re-training begins.
+    reaction_delay_s: float = 100e-3
+    budget: ProbeBudget = field(default_factory=ProbeBudget)
+
+    beam_angle_rad: Optional[float] = field(default=None, init=False)
+    training_rounds: int = field(default=0, init=False)
+    training_windows: List[Tuple[float, float]] = field(
+        default_factory=list, init=False
+    )
+    _outage_since: Optional[float] = field(default=None, init=False)
+
+    def establish(self, channel: GeometricChannel, time_s: float = 0.0) -> float:
+        """Train and point the single beam at the strongest direction."""
+        result = self.trainer.train(channel, budget=self.budget, time_s=time_s)
+        self.training_rounds += 1
+        self.training_windows.append(
+            (time_s, result.num_probes * ssb_duration_s(self.budget.numerology))
+        )
+        self.beam_angle_rad = result.best_angle_rad
+        self._outage_since = None
+        return self.beam_angle_rad
+
+    def current_weights(self) -> np.ndarray:
+        if self.beam_angle_rad is None:
+            raise RuntimeError("call establish() first")
+        return single_beam_weights(self.array, self.beam_angle_rad)
+
+    def link_snr_db(self, channel: GeometricChannel) -> float:
+        return self.sounder.link_snr_db(channel, self.current_weights())
+
+    def step(self, channel: GeometricChannel, time_s: float) -> BaselineReport:
+        """Observe the link; retrain only after outage + recovery latency."""
+        snr_db = self.link_snr_db(channel)
+        if snr_db >= OUTAGE_SNR_DB:
+            self._outage_since = None
+            return BaselineReport(
+                time_s=time_s, snr_db=snr_db, action="none", probes_used=0
+            )
+        if self._outage_since is None:
+            self._outage_since = time_s
+        if time_s - self._outage_since >= self.reaction_delay_s:
+            self.establish(channel, time_s=time_s)
+            return BaselineReport(
+                time_s=time_s, snr_db=snr_db, action="retrain", probes_used=0
+            )
+        return BaselineReport(
+            time_s=time_s, snr_db=snr_db, action="outage_wait", probes_used=0
+        )

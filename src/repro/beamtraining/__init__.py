@@ -1,0 +1,20 @@
+"""Beam training: how a link is first established.
+
+mmReliable sits *on top of* any beam-training scheme — it only needs the
+directions and powers of the viable paths (Section 3.3).  This package
+provides the two trainers the evaluation uses: an exhaustive SSB sweep and
+a hierarchical (logarithmic-probe) scan modelled after fast-training work.
+"""
+
+from repro.beamtraining.base import BeamTrainingResult, top_k_directions
+from repro.beamtraining.exhaustive import ExhaustiveTrainer
+from repro.beamtraining.hierarchical import HierarchicalTrainer
+from repro.beamtraining.compressive import CompressiveTrainer
+
+__all__ = [
+    "BeamTrainingResult",
+    "top_k_directions",
+    "ExhaustiveTrainer",
+    "HierarchicalTrainer",
+    "CompressiveTrainer",
+]

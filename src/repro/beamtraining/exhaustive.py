@@ -1,0 +1,46 @@
+"""Exhaustive beam training: one SSB probe per codebook direction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.arrays.codebook import Codebook
+from repro.beamtraining.base import BeamTrainingResult
+from repro.channel.geometric import GeometricChannel
+from repro.phy.ofdm import ChannelSounder
+from repro.phy.reference_signals import ProbeBudget, ProbeKind
+
+
+@dataclass
+class ExhaustiveTrainer:
+    """Scan every codebook beam and record its received power.
+
+    This is the default 5G NR SSB sweep: slow (one SSB per direction) but
+    complete — it measures the ``p_k`` for every direction at once, which
+    the multi-beam establishment step reuses.
+    """
+
+    codebook: Codebook
+    sounder: ChannelSounder
+
+    def train(
+        self,
+        channel: GeometricChannel,
+        budget: Optional[ProbeBudget] = None,
+        time_s: float = 0.0,
+    ) -> BeamTrainingResult:
+        """Run the sweep against the current channel."""
+        powers = np.empty(len(self.codebook))
+        for index, (angle, weights) in enumerate(self.codebook):
+            estimate = self.sounder.sound(channel, weights.vector, time_s=time_s)
+            powers[index] = estimate.mean_power
+        if budget is not None:
+            budget.charge(ProbeKind.SSB, time_s=time_s, count=len(self.codebook))
+        return BeamTrainingResult(
+            angles_rad=self.codebook.angles_rad.copy(),
+            powers=powers,
+            num_probes=len(self.codebook),
+        )

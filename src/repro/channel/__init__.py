@@ -1,0 +1,95 @@
+"""mmWave channel substrate.
+
+Implements the sparse geometric multipath channel the paper models
+(Eqs. 5, 7, 16, 25-26) plus everything the testbed environment provided:
+path loss and reflection losses, a 2-D image-method ray tracer standing in
+for real indoor/outdoor reflector geometry, blockage processes, mobility
+trajectories, and the CFO/SFO impairments that motivate magnitude-only
+probing.
+"""
+
+from repro.channel.paths import Path, relative_gains
+from repro.channel.geometric import GeometricChannel
+from repro.channel.wideband import (
+    ofdm_frequency_grid,
+    sampled_cir,
+    cir_from_frequency_response,
+    per_beam_gains,
+)
+from repro.channel.pathloss import (
+    friis_path_loss_db,
+    atmospheric_absorption_db_per_km,
+    reflection_loss_db,
+    MATERIAL_REFLECTION_LOSS_DB,
+)
+from repro.channel.environment import (
+    Reflector,
+    Environment,
+    trace_paths,
+    random_indoor_environment,
+    random_outdoor_environment,
+)
+from repro.channel.blockage import (
+    BlockageEvent,
+    BlockageSchedule,
+    HumanBlocker,
+    random_blockage_schedule,
+)
+from repro.channel.mobility import (
+    Pose,
+    StaticPose,
+    LinearTrajectory,
+    RotationTrajectory,
+    WaypointTrajectory,
+)
+from repro.channel.irs import IntelligentSurface, add_irs_path
+from repro.channel.clusters import (
+    ClusterProfile,
+    INDOOR_CLUSTERS,
+    OUTDOOR_CLUSTERS,
+    generate_clustered_channel,
+    cluster_relative_attenuation_db,
+)
+from repro.channel.impairments import (
+    CfoSfoModel,
+    thermal_noise_dbm,
+    awgn_noise_power_watt,
+)
+
+__all__ = [
+    "Path",
+    "relative_gains",
+    "GeometricChannel",
+    "ofdm_frequency_grid",
+    "sampled_cir",
+    "cir_from_frequency_response",
+    "per_beam_gains",
+    "friis_path_loss_db",
+    "atmospheric_absorption_db_per_km",
+    "reflection_loss_db",
+    "MATERIAL_REFLECTION_LOSS_DB",
+    "Reflector",
+    "Environment",
+    "trace_paths",
+    "random_indoor_environment",
+    "random_outdoor_environment",
+    "BlockageEvent",
+    "BlockageSchedule",
+    "HumanBlocker",
+    "random_blockage_schedule",
+    "Pose",
+    "StaticPose",
+    "LinearTrajectory",
+    "RotationTrajectory",
+    "WaypointTrajectory",
+    "IntelligentSurface",
+    "add_irs_path",
+    "ClusterProfile",
+    "INDOOR_CLUSTERS",
+    "OUTDOOR_CLUSTERS",
+    "generate_clustered_channel",
+    "cluster_relative_attenuation_db",
+    "CfoSfoModel",
+    "thermal_noise_dbm",
+    "awgn_noise_power_watt",
+]

@@ -1,0 +1,132 @@
+"""Intelligent reflecting surfaces (paper Section 8, future work).
+
+mmReliable needs strong reflectors; where the environment lacks them, the
+paper envisions deploying IRS panels that *engineer* a strong reflection.
+This module models a programmable panel with the standard IRS link
+budget: the cascaded path pays free-space loss on both hops
+(tx -> panel -> rx), but a panel of ``N`` unit cells configured for the
+link adds up to ``20 log10(N)`` of beamforming gain — enough to turn the
+product path loss into a path competitive with a natural specular bounce.
+An unconfigured panel scatters diffusely and contributes only a weak
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+import numpy as np
+
+from repro.channel.paths import Path
+from repro.channel.pathloss import friis_path_loss_db
+from repro.utils import SPEED_OF_LIGHT, wrap_angle
+
+
+@dataclass(frozen=True)
+class IntelligentSurface:
+    """A programmable reflecting panel at a fixed position.
+
+    Parameters
+    ----------
+    position:
+        Panel center in the 2-D scene [m].
+    num_elements:
+        Unit cells; the configured beamforming gain is
+        ``20 log10(num_elements)`` (amplitude gain ``N``) up to
+        ``max_gain_db``.
+    unconfigured_loss_db:
+        Extra loss of the diffuse scatter when the panel is not
+        configured for the link.
+    """
+
+    position: Tuple[float, float]
+    num_elements: int = 64
+    max_gain_db: float = 40.0
+    unconfigured_loss_db: float = 30.0
+    configured: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_elements < 1:
+            raise ValueError(
+                f"num_elements must be >= 1, got {self.num_elements!r}"
+            )
+        if self.max_gain_db < 0 or self.unconfigured_loss_db < 0:
+            raise ValueError("gains/losses must be non-negative")
+
+    def beamforming_gain_db(self) -> float:
+        """Gain of the configured panel toward its target pair."""
+        return float(
+            min(20.0 * np.log10(self.num_elements), self.max_gain_db)
+        )
+
+    def with_configuration(self, configured: bool) -> "IntelligentSurface":
+        return replace(self, configured=configured)
+
+    def reflected_path(
+        self,
+        tx_position,
+        rx_position,
+        carrier_frequency_hz: float,
+        tx_boresight_rad: float = 0.0,
+        rx_boresight_rad: float = np.pi,
+    ) -> Path:
+        """The engineered path tx -> panel -> rx.
+
+        Uses the cascaded (product) path-loss model with the panel's
+        beamforming gain; the AoD/AoA point at the panel from each end.
+        """
+        tx = np.asarray(tx_position, dtype=float)
+        rx = np.asarray(rx_position, dtype=float)
+        panel = np.asarray(self.position, dtype=float)
+        leg1 = panel - tx
+        leg2 = rx - panel
+        d1 = float(np.linalg.norm(leg1))
+        d2 = float(np.linalg.norm(leg2))
+        if d1 == 0 or d2 == 0:
+            raise ValueError("panel coincides with an endpoint")
+        loss_db = friis_path_loss_db(
+            d1, carrier_frequency_hz
+        ) + friis_path_loss_db(d2, carrier_frequency_hz)
+        if self.configured:
+            loss_db -= self.beamforming_gain_db()
+        else:
+            loss_db += self.unconfigured_loss_db
+        total = d1 + d2
+        delay = total / SPEED_OF_LIGHT
+        amplitude = 10.0 ** (-loss_db / 20.0)
+        phase = -2.0 * np.pi * carrier_frequency_hz * delay
+        aod = wrap_angle(
+            np.arctan2(leg1[1], leg1[0]) - tx_boresight_rad
+        )
+        aoa = wrap_angle(
+            np.arctan2(-leg2[1], -leg2[0]) - rx_boresight_rad
+        )
+        state = "configured" if self.configured else "idle"
+        return Path(
+            aod_rad=float(aod),
+            gain=amplitude * np.exp(1j * phase),
+            delay_s=delay,
+            aoa_rad=float(aoa),
+            label=f"irs:{state}",
+        )
+
+
+def add_irs_path(
+    channel_paths: Tuple[Path, ...],
+    surface: IntelligentSurface,
+    tx_position,
+    rx_position,
+    carrier_frequency_hz: float,
+    tx_boresight_rad: float = 0.0,
+    rx_boresight_rad: float = np.pi,
+) -> Tuple[Path, ...]:
+    """Append the IRS path to an existing traced path set."""
+    path = surface.reflected_path(
+        tx_position,
+        rx_position,
+        carrier_frequency_hz,
+        tx_boresight_rad=tx_boresight_rad,
+        rx_boresight_rad=rx_boresight_rad,
+    )
+    return tuple(channel_paths) + (path,)

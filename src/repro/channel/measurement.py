@@ -1,0 +1,146 @@
+"""Synthetic reflector-strength measurement study (paper Fig. 4).
+
+The paper measures, at many indoor (5-10 m) and outdoor (10-80 m)
+locations, the attenuation of the strongest reflected path relative to the
+direct path via full 120-degree beam scans (~10K data points), finding a
+median of 7.2 dB indoors and 5 dB outdoors.  These functions regenerate
+that study against the synthetic environment generator.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.arrays.geometry import UniformLinearArray
+from repro.arrays.steering import single_beam_weights
+from repro.channel.environment import (
+    Environment,
+    random_indoor_environment,
+    random_outdoor_environment,
+    trace_paths,
+)
+from repro.channel.geometric import GeometricChannel
+from repro.channel.mobility import Trajectory
+from repro.utils import ensure_rng
+
+
+def _relative_attenuation_db(paths) -> float:
+    """Attenuation [dB] of the strongest reflection vs the direct path.
+
+    Returns ``nan`` when the trace lacks either a LOS path or a reflection.
+    """
+    los = [p for p in paths if p.label == "los"]
+    reflections = [p for p in paths if p.label.startswith("reflection")]
+    if not los or not reflections:
+        return float("nan")
+    best = max(reflections, key=lambda p: p.power)
+    return float(los[0].power_db - best.power_db)
+
+
+def sample_indoor_location(rng) -> float:
+    """One indoor measurement point: random room, random 5-10 m link."""
+    rng = ensure_rng(rng)
+    environment = random_indoor_environment(rng)
+    # gNB near one short wall, UE 5-10 m away inside the room.
+    tx = np.array([rng.uniform(2.0, 5.0), 0.5])
+    link = rng.uniform(5.0, 9.0)
+    bearing = rng.uniform(np.deg2rad(60.0), np.deg2rad(120.0))
+    rx = tx + link * np.array([np.cos(bearing), np.sin(bearing)])
+    rx[0] = np.clip(rx[0], 0.5, 6.5)
+    rx[1] = np.clip(rx[1], 1.0, 9.5)
+    paths = trace_paths(
+        environment, tx, rx, tx_boresight_rad=np.pi / 2.0,
+        rx_boresight_rad=-np.pi / 2.0,
+    )
+    return _relative_attenuation_db(paths)
+
+
+def sample_outdoor_location(rng) -> float:
+    """One outdoor measurement point: building face, random 10-80 m link."""
+    rng = ensure_rng(rng)
+    environment = random_outdoor_environment(rng)
+    tx = np.array([rng.uniform(-20.0, 0.0), 0.0])
+    link = rng.uniform(10.0, 80.0)
+    rx = tx + np.array([link, rng.uniform(-1.0, 3.0)])
+    heading = rx - tx
+    boresight = float(np.arctan2(heading[1], heading[0]))
+    paths = trace_paths(
+        environment, tx, rx, tx_boresight_rad=boresight,
+        rx_boresight_rad=boresight + np.pi,
+    )
+    return _relative_attenuation_db(paths)
+
+
+def reflector_attenuation_study(
+    num_locations: int, scenario: str = "indoor", rng=None
+) -> np.ndarray:
+    """Relative-attenuation samples [dB] across random deployments.
+
+    Only locations where both a direct path and at least one reflection
+    exist contribute (matching the paper's methodology — a scan with no
+    visible reflector cannot measure relative attenuation).
+    """
+    if scenario not in ("indoor", "outdoor"):
+        raise ValueError(f"scenario must be 'indoor' or 'outdoor', got {scenario!r}")
+    rng = ensure_rng(rng)
+    sampler = (
+        sample_indoor_location if scenario == "indoor" else sample_outdoor_location
+    )
+    samples = []
+    attempts = 0
+    max_attempts = num_locations * 20
+    while len(samples) < num_locations and attempts < max_attempts:
+        attempts += 1
+        value = sampler(rng)
+        if np.isfinite(value):
+            samples.append(value)
+    if len(samples) < num_locations:
+        raise RuntimeError(
+            f"only {len(samples)}/{num_locations} valid locations after "
+            f"{attempts} attempts"
+        )
+    return np.asarray(samples)
+
+
+def attenuation_cdf(samples_db: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF (x in dB, P(X <= x)) of attenuation samples."""
+    ordered = np.sort(np.asarray(samples_db, dtype=float))
+    probability = np.arange(1, ordered.size + 1) / ordered.size
+    return ordered, probability
+
+
+def spatial_power_heatmap(
+    environment: Environment,
+    array: UniformLinearArray,
+    tx_position,
+    trajectory: Trajectory,
+    times_s: Sequence[float],
+    scan_angles_rad: Sequence[float],
+    tx_boresight_rad: float = np.pi / 2.0,
+) -> np.ndarray:
+    """Beam-scan power [dB] over (time, angle) as the user moves (Fig. 4b).
+
+    For each time step the UE position comes from the trajectory and a full
+    single-beam scan is simulated; strong reflectors appear as bright
+    ridges that shift as the user moves.
+    """
+    angles = np.asarray(scan_angles_rad, dtype=float)
+    heatmap = np.full((len(times_s), angles.size), -np.inf)
+    for i, t in enumerate(times_s):
+        pose = trajectory.pose(float(t))
+        paths = trace_paths(
+            environment,
+            tx_position,
+            pose.as_array(),
+            tx_boresight_rad=tx_boresight_rad,
+            rx_boresight_rad=pose.orientation_rad,
+        )
+        channel = GeometricChannel(tx_array=array, paths=paths)
+        for j, angle in enumerate(angles):
+            weights = single_beam_weights(array, float(angle))
+            response = channel.frequency_response(weights, [0.0])[0]
+            power = abs(response) ** 2
+            heatmap[i, j] = 10.0 * np.log10(power) if power > 0 else -np.inf
+    return heatmap

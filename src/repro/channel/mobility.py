@@ -1,0 +1,146 @@
+"""User mobility: poses and trajectories.
+
+The paper's gantry provides ground-truth translation (up to 1.5 m/s — cart
+speed) and rotation (24 deg/s — typical VR headset motion).  These classes
+replace it: a :class:`Trajectory` maps time to a :class:`Pose` (2-D
+position + orientation), from which the simulator derives the per-path
+angular deviations that misalign the beams (Section 4.2, Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Tuple
+
+import numpy as np
+
+from repro.utils import wrap_angle
+
+
+@dataclass(frozen=True)
+class Pose:
+    """A 2-D pose: position [m] and orientation [rad, world frame]."""
+
+    position: Tuple[float, float]
+    orientation_rad: float = 0.0
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.position, dtype=float)
+
+
+class Trajectory(Protocol):
+    """Anything that yields a pose at a given time."""
+
+    def pose(self, time_s: float) -> Pose:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass(frozen=True)
+class StaticPose:
+    """A user who never moves."""
+
+    position: Tuple[float, float]
+    orientation_rad: float = 0.0
+
+    def pose(self, time_s: float) -> Pose:
+        return Pose(position=self.position, orientation_rad=self.orientation_rad)
+
+
+@dataclass(frozen=True)
+class LinearTrajectory:
+    """Constant-velocity translation (the paper's 1.5 m/s cart runs)."""
+
+    start_position: Tuple[float, float]
+    velocity_mps: Tuple[float, float]
+    orientation_rad: float = 0.0
+
+    def pose(self, time_s: float) -> Pose:
+        start = np.asarray(self.start_position, dtype=float)
+        velocity = np.asarray(self.velocity_mps, dtype=float)
+        position = start + velocity * time_s
+        return Pose(
+            position=(float(position[0]), float(position[1])),
+            orientation_rad=self.orientation_rad,
+        )
+
+
+@dataclass(frozen=True)
+class RotationTrajectory:
+    """In-place rotation (the paper's 24 deg/s VR headset motion)."""
+
+    position: Tuple[float, float]
+    angular_speed_rad_s: float
+    initial_orientation_rad: float = 0.0
+
+    def pose(self, time_s: float) -> Pose:
+        return Pose(
+            position=self.position,
+            orientation_rad=wrap_angle(
+                self.initial_orientation_rad + self.angular_speed_rad_s * time_s
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class WaypointTrajectory:
+    """Piecewise-linear motion through timestamped waypoints.
+
+    Used for the outdoor experiments where the cart follows a predefined
+    trajectory.  Times must be strictly increasing; the pose clamps to the
+    first/last waypoint outside the covered span.
+    """
+
+    times_s: Tuple[float, ...]
+    positions: Tuple[Tuple[float, float], ...]
+    orientations_rad: Tuple[float, ...] = None
+
+    def __post_init__(self) -> None:
+        times = tuple(float(t) for t in self.times_s)
+        if len(times) < 2:
+            raise ValueError("need at least two waypoints")
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ValueError("waypoint times must be strictly increasing")
+        if len(self.positions) != len(times):
+            raise ValueError("positions and times must have equal length")
+        orientations = self.orientations_rad
+        if orientations is None:
+            orientations = tuple(0.0 for _ in times)
+        if len(orientations) != len(times):
+            raise ValueError("orientations and times must have equal length")
+        object.__setattr__(self, "times_s", times)
+        object.__setattr__(
+            self, "positions", tuple((float(x), float(y)) for x, y in self.positions)
+        )
+        object.__setattr__(
+            self, "orientations_rad", tuple(float(o) for o in orientations)
+        )
+
+    def pose(self, time_s: float) -> Pose:
+        times = np.asarray(self.times_s)
+        xs = np.asarray([p[0] for p in self.positions])
+        ys = np.asarray([p[1] for p in self.positions])
+        orientation = np.interp(time_s, times, np.asarray(self.orientations_rad))
+        return Pose(
+            position=(
+                float(np.interp(time_s, times, xs)),
+                float(np.interp(time_s, times, ys)),
+            ),
+            orientation_rad=float(orientation),
+        )
+
+
+def angular_deviation_seen_by_tx(
+    tx_position, pose_then: Pose, pose_now: Pose
+) -> float:
+    """How far the user's bearing (from the gNB) rotated between two poses.
+
+    This is the ``varphi(t)`` the tracker estimates for the direct path:
+    translation changes the departure angle of the LOS beam by exactly this
+    amount.
+    """
+    tx = np.asarray(tx_position, dtype=float)
+    then = pose_then.as_array() - tx
+    now = pose_now.as_array() - tx
+    return float(
+        wrap_angle(np.arctan2(now[1], now[0]) - np.arctan2(then[1], then[0]))
+    )

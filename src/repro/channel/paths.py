@@ -1,0 +1,107 @@
+"""Channel path primitives.
+
+A mmWave channel is sparse: a direct path plus a handful of specular
+reflections (Section 3.2, "Strength of mmWave multipath").  Each
+:class:`Path` carries the parameters of the geometric model in Eq. (25):
+angle of departure, complex gain, and time of flight, plus the angle of
+arrival needed when the UE is also directional (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Path:
+    """One propagation path of the sparse geometric channel.
+
+    Parameters
+    ----------
+    aod_rad:
+        Angle of departure at the gNB array, measured from broadside.
+    gain:
+        Complex amplitude (path loss, reflection loss, and carrier phase
+        folded together) — the ``gamma_l e^{j 2 pi f_c tau_l}`` of Eq. (25).
+    delay_s:
+        Absolute time of flight.
+    aoa_rad:
+        Angle of arrival at the UE (only meaningful for directional UEs).
+    label:
+        Human-readable tag, e.g. ``"los"`` or ``"reflection:concrete"``.
+    """
+
+    aod_rad: float
+    gain: complex
+    delay_s: float = 0.0
+    aoa_rad: float = 0.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s!r}")
+
+    @property
+    def power(self) -> float:
+        """Path power ``|gain|^2`` (linear)."""
+        return abs(self.gain) ** 2
+
+    @property
+    def power_db(self) -> float:
+        """Path power in dB."""
+        if self.gain == 0:
+            return -np.inf
+        return 10.0 * np.log10(self.power)
+
+    def attenuated(self, linear_amplitude_factor: float) -> "Path":
+        """A copy with the gain scaled (e.g. by a blockage attenuation)."""
+        return replace(self, gain=self.gain * linear_amplitude_factor)
+
+    def with_gain(self, gain: complex) -> "Path":
+        """A copy with the complex gain replaced (e.g. a phase rotation)."""
+        return replace(self, gain=complex(gain))
+
+    def rotated(self, aod_offset_rad: float, aoa_offset_rad: float = 0.0) -> "Path":
+        """A copy with the departure/arrival angles shifted (mobility)."""
+        return replace(
+            self,
+            aod_rad=self.aod_rad + aod_offset_rad,
+            aoa_rad=self.aoa_rad + aoa_offset_rad,
+        )
+
+    def delayed(self, extra_delay_s: float) -> "Path":
+        """A copy with extra ToF added."""
+        return replace(self, delay_s=self.delay_s + extra_delay_s)
+
+
+def sort_by_power(paths: Sequence[Path]) -> Tuple[Path, ...]:
+    """Paths sorted strongest first."""
+    return tuple(sorted(paths, key=lambda p: p.power, reverse=True))
+
+
+def relative_gains(paths: Sequence[Path]) -> np.ndarray:
+    """Complex gains of each path relative to the strongest one.
+
+    Element 0 is always ``1+0j``; element ``k`` is the ``delta e^{j sigma}``
+    of Eq. (7) for path ``k``.  Raises on an empty sequence or an
+    all-zero-strength channel.
+    """
+    ordered = sort_by_power(paths)
+    if not ordered:
+        raise ValueError("no paths")
+    reference = ordered[0].gain
+    if reference == 0:
+        raise ValueError("strongest path has zero gain")
+    return np.array([p.gain / reference for p in ordered])
+
+
+def relative_delays(paths: Sequence[Path]) -> np.ndarray:
+    """Delays of each path relative to the strongest one [s]."""
+    ordered = sort_by_power(paths)
+    if not ordered:
+        raise ValueError("no paths")
+    reference = ordered[0].delay_s
+    return np.array([p.delay_s - reference for p in ordered])

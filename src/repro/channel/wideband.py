@@ -1,0 +1,146 @@
+"""Wideband helpers: OFDM frequency grids, CIRs, and per-beam gains.
+
+The receiver sees the band-limited channel impulse response of Eq. (22):
+each path contributes a sinc pulse centered at its time of flight,
+
+    h_eff[n] = sum_k alpha_k sinc(B (n Ts - tau_k)),
+
+which is what the super-resolution estimator of Section 4.3 decomposes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.channel.geometric import GeometricChannel
+from repro.utils import normalized_sinc
+
+
+def ofdm_frequency_grid(
+    bandwidth_hz: float, num_subcarriers: int
+) -> np.ndarray:
+    """Baseband subcarrier center frequencies, centered on 0 Hz.
+
+    Matches an OFDM system whose occupied band spans
+    ``[-bandwidth/2, +bandwidth/2)``.
+    """
+    if bandwidth_hz <= 0:
+        raise ValueError(f"bandwidth_hz must be positive, got {bandwidth_hz!r}")
+    if num_subcarriers < 1:
+        raise ValueError(
+            f"num_subcarriers must be >= 1, got {num_subcarriers!r}"
+        )
+    spacing = bandwidth_hz / num_subcarriers
+    index = np.arange(num_subcarriers) - num_subcarriers // 2
+    return index * spacing
+
+
+def sampled_cir(
+    alphas: Sequence[complex],
+    delays_s: Sequence[float],
+    bandwidth_hz: float,
+    num_taps: int,
+    start_time_s: float = 0.0,
+) -> np.ndarray:
+    """Band-limited sampled CIR (Eq. 22).
+
+    Samples the sum of sinc pulses at rate ``bandwidth_hz`` starting from
+    ``start_time_s``.  Tap ``n`` sits at time ``start_time_s + n / B``.
+    """
+    alphas = np.asarray(alphas, dtype=complex)
+    delays = np.asarray(delays_s, dtype=float)
+    if alphas.shape != delays.shape:
+        raise ValueError(
+            f"alphas {alphas.shape} and delays {delays.shape} must match"
+        )
+    sample_times = start_time_s + np.arange(num_taps) / bandwidth_hz
+    # (num_taps, num_paths) sinc matrix, then weight by alphas.
+    pulse = normalized_sinc(
+        bandwidth_hz * (sample_times[:, None] - delays[None, :])
+    )
+    return pulse @ alphas
+
+
+def sinc_dictionary(
+    candidate_delays_s: Sequence[float],
+    bandwidth_hz: float,
+    num_taps: int,
+    start_time_s: float = 0.0,
+) -> np.ndarray:
+    """The ``S`` matrix of Eq. (23): one sinc column per candidate ToF."""
+    delays = np.asarray(candidate_delays_s, dtype=float)
+    sample_times = start_time_s + np.arange(num_taps) / bandwidth_hz
+    return normalized_sinc(
+        bandwidth_hz * (sample_times[:, None] - delays[None, :])
+    )
+
+
+def dirichlet_dictionary(
+    candidate_delays_s: Sequence[float],
+    bandwidth_hz: float,
+    num_taps: int,
+) -> np.ndarray:
+    """Exact DFT-kernel dictionary for CIRs obtained by IFFT.
+
+    :func:`cir_from_frequency_response` interpolates with the *periodic*
+    Dirichlet kernel of the finite centered subcarrier grid, which differs
+    from the ideal sinc in its tails for off-grid delays.  Fitting an
+    IFFT-derived CIR against this dictionary is therefore exact; use
+    :func:`sinc_dictionary` when modelling an ideal band-limited receiver
+    (Eq. 22) instead.
+    """
+    delays = np.asarray(candidate_delays_s, dtype=float)
+    freqs = ofdm_frequency_grid(bandwidth_hz * 1.0, num_taps)
+    columns = []
+    for delay in delays.ravel():
+        response = np.exp(-2j * np.pi * freqs * delay)
+        columns.append(cir_from_frequency_response(response))
+    return np.stack(columns, axis=1)
+
+
+def cir_from_frequency_response(
+    response: np.ndarray, oversample: int = 1
+) -> np.ndarray:
+    """Convert a per-subcarrier response ``y(f)`` to a sampled CIR.
+
+    Inverse-DFTs the frequency response (centered grid -> ifftshift first).
+    ``oversample > 1`` zero-pads in frequency for a finer time grid, which
+    is how the testbed visualizes the two overlapping sincs in Fig. 11(b).
+    """
+    response = np.asarray(response, dtype=complex)
+    if response.ndim != 1:
+        raise ValueError(f"response must be 1-D, got shape {response.shape}")
+    if oversample < 1:
+        raise ValueError(f"oversample must be >= 1, got {oversample!r}")
+    n = response.shape[0]
+    spectrum = np.fft.ifftshift(response)
+    if oversample > 1:
+        padded = np.zeros(n * oversample, dtype=complex)
+        half = n // 2
+        padded[:half] = spectrum[:half]
+        padded[-(n - half):] = spectrum[half:]
+        spectrum = padded
+    return np.fft.ifft(spectrum) * oversample
+
+
+def per_beam_gains(
+    channel: GeometricChannel,
+    tx_weights: np.ndarray,
+    beam_angles_rad: Sequence[float],
+    rx_weights: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """End-to-end complex gain of each constituent beam of a multi-beam.
+
+    For each beam angle, returns the ``alpha_k`` contributed by the channel
+    path nearest that angle (the quantity the super-resolution estimator
+    recovers from the CIR).  This is the *ground truth* used in tests and
+    benchmarks.
+    """
+    alphas = channel.beamformed_path_gains(tx_weights, rx_weights)
+    aods = channel.aods()
+    out = np.empty(len(beam_angles_rad), dtype=complex)
+    for k, angle in enumerate(beam_angles_rad):
+        out[k] = alphas[int(np.argmin(np.abs(aods - angle)))]
+    return out

@@ -1,0 +1,75 @@
+"""Command-line interface: list and run the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig14
+    python -m repro run all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.registry import REGISTRY, get_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "mmReliable reproduction: regenerate the paper's figures"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("list", help="list available experiments")
+    run = commands.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        help="experiment id from 'repro list', or 'all'",
+    )
+    return parser
+
+
+def command_list(out=sys.stdout) -> int:
+    width = max(len(identifier) for identifier in REGISTRY)
+    for identifier, experiment in REGISTRY.items():
+        out.write(f"{identifier:<{width}}  {experiment.title}\n")
+    return 0
+
+
+def command_run(identifier: str, out=sys.stdout) -> int:
+    if identifier == "all":
+        identifiers: List[str] = list(REGISTRY)
+    else:
+        identifiers = [identifier]
+    for name in identifiers:
+        try:
+            experiment = get_experiment(name)
+        except KeyError as error:
+            out.write(f"error: {error}\n")
+            return 2
+        out.write(f"== {experiment.title} ==\n")
+        started = time.perf_counter()
+        out.write(experiment.run_report() + "\n")
+        elapsed = time.perf_counter() - started
+        out.write(f"-- completed in {elapsed:.1f} s --\n\n")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    try:
+        if arguments.command == "list":
+            return command_list()
+        return command_run(arguments.experiment)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

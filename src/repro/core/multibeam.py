@@ -1,0 +1,193 @@
+"""Constructive multi-beam synthesis (paper Eq. 10, Appendix A).
+
+A multi-beam is a single unit-norm weight vector whose pattern has one lobe
+per viable channel path.  Given the path directions ``phi_k`` and the
+relative channel gains ``c_k = delta_k e^{j sigma_k}`` (reference beam has
+``c_0 = 1``), the constructive weights are
+
+    w  =  sum_k conj(c_k) w_{phi_k}  /  || sum_k conj(c_k) w_{phi_k} ||,
+
+i.e. each constituent single beam is scaled by the *conjugate* of its
+path's relative channel so the copies arriving over the different paths
+add in phase at the receiver.  The denominator keeps total radiated power
+constant (FCC compliance).  When one beam is used per channel path this
+equals the optimal MRT beamformer (Appendix A, Eq. 30).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arrays.geometry import UniformLinearArray
+from repro.arrays.steering import single_beam_weights
+from repro.arrays.weights import BeamWeights, WeightQuantizer
+from repro.channel.geometric import GeometricChannel
+
+
+@dataclass(frozen=True)
+class MultiBeam:
+    """A constructive multi-beam: directions plus relative complex gains.
+
+    ``relative_gains[0]`` is the reference beam and should be ``1+0j``; the
+    other entries are the estimated ``delta_k e^{j sigma_k}`` of each
+    path's channel relative to the reference path.
+    """
+
+    array: UniformLinearArray
+    angles_rad: Tuple[float, ...]
+    relative_gains: Tuple[complex, ...]
+
+    def __post_init__(self) -> None:
+        angles = tuple(float(a) for a in self.angles_rad)
+        gains = tuple(complex(g) for g in self.relative_gains)
+        if len(angles) != len(gains):
+            raise ValueError(
+                f"{len(angles)} angles but {len(gains)} relative gains"
+            )
+        if not angles:
+            raise ValueError("a multi-beam needs at least one beam")
+        if all(g == 0 for g in gains):
+            raise ValueError("all relative gains are zero")
+        object.__setattr__(self, "angles_rad", angles)
+        object.__setattr__(self, "relative_gains", gains)
+
+    @property
+    def num_beams(self) -> int:
+        return len(self.angles_rad)
+
+    def weights(self, quantizer: Optional[WeightQuantizer] = None) -> BeamWeights:
+        """The unit-norm constructive weight vector (Eq. 10 / Eq. 29)."""
+        vector = constructive_multibeam(
+            self.array, self.angles_rad, self.relative_gains
+        )
+        beam = BeamWeights(vector)
+        if quantizer is not None:
+            beam = quantizer.apply(beam)
+        return beam
+
+    def with_angles(self, angles_rad: Sequence[float]) -> "MultiBeam":
+        """A copy with refined beam directions (tracking update)."""
+        return replace(self, angles_rad=tuple(float(a) for a in angles_rad))
+
+    def with_relative_gains(self, gains: Sequence[complex]) -> "MultiBeam":
+        """A copy with refreshed relative gains (probing update)."""
+        return replace(self, relative_gains=tuple(complex(g) for g in gains))
+
+    def without_beam(self, index: int) -> "MultiBeam":
+        """Drop one beam (blockage response), renormalizing the reference.
+
+        If the reference beam itself is dropped, the strongest survivor
+        becomes the new reference (its gain renormalized to 1).
+        """
+        if not 0 <= index < self.num_beams:
+            raise IndexError(f"beam index {index} out of range")
+        if self.num_beams == 1:
+            raise ValueError("cannot drop the only beam")
+        angles = [a for i, a in enumerate(self.angles_rad) if i != index]
+        gains = [g for i, g in enumerate(self.relative_gains) if i != index]
+        # Re-reference so the strongest surviving beam has unit gain.
+        strongest = int(np.argmax([abs(g) for g in gains]))
+        reference = gains[strongest]
+        gains = [g / reference for g in gains]
+        # Keep the reference beam listed first for probe bookkeeping.
+        order = [strongest] + [i for i in range(len(gains)) if i != strongest]
+        return MultiBeam(
+            array=self.array,
+            angles_rad=tuple(angles[i] for i in order),
+            relative_gains=tuple(gains[i] for i in order),
+        )
+
+
+def constructive_multibeam(
+    array: UniformLinearArray,
+    angles_rad: Sequence[float],
+    relative_gains: Sequence[complex],
+) -> np.ndarray:
+    """Raw unit-norm constructive multi-beam weights (Eq. 10).
+
+    ``relative_gains[k]`` is the channel of beam ``k`` relative to the
+    reference; the weight of beam ``k`` is its *conjugate* so the per-path
+    copies phase-align at the receiver.
+    """
+    angles = np.asarray(list(angles_rad), dtype=float)
+    gains = np.asarray(list(relative_gains), dtype=complex)
+    if angles.shape != gains.shape:
+        raise ValueError(
+            f"angles {angles.shape} and gains {gains.shape} must match"
+        )
+    if angles.size == 0:
+        raise ValueError("need at least one beam")
+    vector = np.zeros(array.num_elements, dtype=complex)
+    for angle, gain in zip(angles, gains):
+        vector += np.conj(gain) * single_beam_weights(array, float(angle))
+    norm = np.linalg.norm(vector)
+    if norm == 0:
+        raise ValueError("beams cancel exactly; cannot normalize")
+    return vector / norm
+
+
+def equal_split_probe_weights(
+    array: UniformLinearArray,
+    angles_rad: Sequence[float],
+    probe_phases_rad: Sequence[float],
+) -> Tuple[np.ndarray, float]:
+    """Probe pattern ``w(phi_1..phi_K, 1, theta_k)`` and its norm factor.
+
+    Builds the equal-amplitude multi-beam the two-probe estimator transmits
+    (Section 3.3, Fig. 5): beam ``k`` gets unit amplitude and phase
+    ``probe_phases_rad[k]``.  Returns ``(weights, norm)`` where ``weights``
+    is unit-norm (as the hardware must transmit) and ``norm`` is the
+    normalization divisor — the estimator multiplies measured powers by
+    ``norm**2`` to undo it, since the transmitter knows its own weights.
+    """
+    angles = list(angles_rad)
+    phases = list(probe_phases_rad)
+    if len(angles) != len(phases):
+        raise ValueError(
+            f"{len(angles)} angles but {len(phases)} probe phases"
+        )
+    vector = np.zeros(array.num_elements, dtype=complex)
+    for angle, phase in zip(angles, phases):
+        vector += np.exp(1j * float(phase)) * single_beam_weights(
+            array, float(angle)
+        )
+    norm = float(np.linalg.norm(vector))
+    if norm == 0:
+        raise ValueError("probe beams cancel exactly")
+    return vector / norm, norm
+
+
+def optimal_mrt_weights(channel: GeometricChannel) -> np.ndarray:
+    """The oracle per-antenna MRT beamformer ``h* / ||h||`` (Eq. 4).
+
+    Requires the full per-element channel — exactly what a single-RF-chain
+    array cannot cheaply measure; used as the upper-bound baseline.
+    """
+    h = channel.narrowband_vector()
+    norm = np.linalg.norm(h)
+    if norm == 0:
+        raise ValueError("channel is identically zero")
+    return np.conj(h) / norm
+
+
+def multibeam_from_channel(
+    channel: GeometricChannel, num_beams: int
+) -> MultiBeam:
+    """Genie multi-beam built from the true channel paths.
+
+    Uses the exact path directions and relative gains (strongest first) —
+    the upper bound for what probing can estimate.  Tests and benchmarks
+    compare estimated multi-beams against this.
+    """
+    if num_beams < 1:
+        raise ValueError(f"num_beams must be >= 1, got {num_beams!r}")
+    paths = channel.strongest_paths(num_beams)
+    reference = paths[0].gain
+    return MultiBeam(
+        array=channel.tx_array,
+        angles_rad=tuple(p.aod_rad for p in paths),
+        relative_gains=tuple(p.gain / reference for p in paths),
+    )

@@ -1,0 +1,188 @@
+"""Two-probe estimation of per-beam relative amplitude and phase.
+
+CFO/SFO make the *phase* of successive channel estimates unreliable, so
+mmReliable estimates the relative channel ``h_k / h_1`` of each beam from
+received *power* alone (Section 3.3).  With ``p_1 = |h_1|^2`` and
+``p_2 = |h_2|^2`` known from beam training, two extra probes through the
+equal-split patterns ``w(phi_1, phi_2, 1, 0)`` and ``w(phi_1, phi_2, 1,
+pi/2)`` measure
+
+    p_3 = |h_1 + h_2|^2,       p_4 = |h_1 + j h_2|^2,
+
+from which (taking ``h_1`` real-positive as the phase reference)
+
+    h_2 / h_1 = [ (p_3 - p_1 - p_2)  +  j (p_1 + p_2 - p_4) ] / (2 p_1).
+
+Each additional beam of a K-beam multi-beam costs two more probes, so the
+total is ``2 (K - 1)`` CSI-RS probes — independent of array size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arrays.geometry import UniformLinearArray
+from repro.arrays.steering import single_beam_weights
+from repro.channel.geometric import GeometricChannel
+from repro.core.multibeam import equal_split_probe_weights
+from repro.phy.ofdm import ChannelSounder
+from repro.phy.reference_signals import ProbeBudget, ProbeKind
+
+
+def two_probe_ratio(p1, p2, p3, p4):
+    """Relative channel ``h_2 / h_1`` from the four power measurements.
+
+    All inputs may be scalars or per-subcarrier arrays; the result matches
+    their shape.  Powers must be non-negative and ``p1`` strictly positive
+    (the reference beam must be alive).
+    """
+    p1 = np.asarray(p1, dtype=float)
+    p2 = np.asarray(p2, dtype=float)
+    p3 = np.asarray(p3, dtype=float)
+    p4 = np.asarray(p4, dtype=float)
+    if np.any(p1 <= 0):
+        raise ValueError("reference beam power p1 must be strictly positive")
+    if np.any(p2 < 0) or np.any(p3 < 0) or np.any(p4 < 0):
+        raise ValueError("powers must be non-negative")
+    real = (p3 - p1 - p2) / (2.0 * p1)
+    imag = (p1 + p2 - p4) / (2.0 * p1)
+    return real + 1j * imag
+
+
+def wideband_relative_gain(
+    ratio_per_subcarrier: np.ndarray, p1_per_subcarrier: np.ndarray
+) -> complex:
+    """Collapse per-subcarrier ratios into one ``delta e^{j sigma}`` (Eq. 14).
+
+    With ``h_1(f) = sqrt(p_1(f))`` as the per-subcarrier reference, the
+    SNR-optimal joint estimate ``<h_1, h_2> / ||h_1||^2`` reduces to the
+    ``p_1``-weighted average of the per-subcarrier ratios.
+    """
+    ratio = np.asarray(ratio_per_subcarrier, dtype=complex)
+    p1 = np.asarray(p1_per_subcarrier, dtype=float)
+    if ratio.shape != p1.shape:
+        raise ValueError(
+            f"ratio {ratio.shape} and p1 {p1.shape} must have equal shape"
+        )
+    total = np.sum(p1)
+    if total <= 0:
+        raise ValueError("reference powers sum to zero")
+    return complex(np.sum(p1 * ratio) / total)
+
+
+@dataclass(frozen=True)
+class RelativeGainEstimate:
+    """Result of one probing round."""
+
+    angles_rad: Tuple[float, ...]
+    relative_gains: Tuple[complex, ...]
+    num_probes: int
+
+    @property
+    def deltas(self) -> np.ndarray:
+        """Per-beam relative amplitudes ``delta_k`` (reference first, = 1)."""
+        return np.abs(np.asarray(self.relative_gains))
+
+    @property
+    def sigmas_rad(self) -> np.ndarray:
+        """Per-beam relative phases ``sigma_k``."""
+        return np.angle(np.asarray(self.relative_gains))
+
+
+@dataclass
+class ProbeController:
+    """Runs the two-probe estimation protocol over a sounder.
+
+    The controller transmits physically realizable unit-norm probe
+    patterns; because the transmitter knows the normalization it applied,
+    measured powers are rescaled by ``norm**2`` before entering the
+    estimator (the estimator's equations assume un-normalized beam sums).
+    """
+
+    array: UniformLinearArray
+    sounder: ChannelSounder
+
+    def measure_reference_powers(
+        self,
+        channel: GeometricChannel,
+        angles_rad: Sequence[float],
+        budget: Optional[ProbeBudget] = None,
+        time_s: float = 0.0,
+        rx_weights: Optional[np.ndarray] = None,
+    ) -> List[np.ndarray]:
+        """Per-subcarrier power of each single beam (``p_k(f)``).
+
+        In deployment these come for free from the beam-training sweep;
+        the method exists for experiments that start from known angles.
+        """
+        powers = []
+        for angle in angles_rad:
+            weights = single_beam_weights(self.array, float(angle))
+            estimate = self.sounder.sound(
+                channel, weights, rx_weights=rx_weights, time_s=time_s
+            )
+            powers.append(np.abs(estimate.csi) ** 2)
+        if budget is not None:
+            budget.charge(ProbeKind.CSI_RS, time_s=time_s, count=len(powers))
+        return powers
+
+    def estimate_relative_gains(
+        self,
+        channel: GeometricChannel,
+        angles_rad: Sequence[float],
+        reference_powers: Optional[Sequence[np.ndarray]] = None,
+        budget: Optional[ProbeBudget] = None,
+        time_s: float = 0.0,
+        rx_weights: Optional[np.ndarray] = None,
+    ) -> RelativeGainEstimate:
+        """Estimate ``h_k / h_1`` for every non-reference beam.
+
+        ``reference_powers`` are the per-subcarrier single-beam powers from
+        training; if omitted they are measured first (charging extra
+        probes).  Each non-reference beam costs exactly two more probes.
+        """
+        angles = [float(a) for a in angles_rad]
+        if len(angles) < 1:
+            raise ValueError("need at least one beam angle")
+        probes_used = 0
+        if reference_powers is None:
+            reference_powers = self.measure_reference_powers(
+                channel, angles, budget=budget, time_s=time_s,
+                rx_weights=rx_weights,
+            )
+            probes_used += len(angles)
+        if len(reference_powers) != len(angles):
+            raise ValueError(
+                f"{len(reference_powers)} reference powers for "
+                f"{len(angles)} angles"
+            )
+        p1 = np.asarray(reference_powers[0], dtype=float)
+        gains: List[complex] = [1.0 + 0.0j]
+        for k in range(1, len(angles)):
+            pk = np.asarray(reference_powers[k], dtype=float)
+            pair = (angles[0], angles[k])
+            ratios = []
+            measured = []
+            for phase in (0.0, np.pi / 2.0):
+                weights, norm = equal_split_probe_weights(
+                    self.array, pair, (0.0, phase)
+                )
+                estimate = self.sounder.sound(
+                    channel, weights, rx_weights=rx_weights, time_s=time_s
+                )
+                measured.append(np.abs(estimate.csi) ** 2 * norm ** 2)
+            probes_used += 2
+            if budget is not None:
+                budget.charge(ProbeKind.CSI_RS, time_s=time_s, count=2)
+            p3, p4 = measured
+            safe_p1 = np.maximum(p1, np.max(p1) * 1e-6)
+            ratio = two_probe_ratio(safe_p1, pk, p3, p4)
+            gains.append(wideband_relative_gain(ratio, safe_p1))
+        return RelativeGainEstimate(
+            angles_rad=tuple(angles),
+            relative_gains=tuple(gains),
+            num_probes=probes_used,
+        )

@@ -1,0 +1,182 @@
+"""Directional multi-beam UEs (paper Section 4.4).
+
+When the UE also beamforms, mobility misaligns *both* ends.  Two problems
+must be solved before realignment:
+
+1. **Association** — gNB beam ``a_k`` must be matched with the UE beam
+   ``b_k`` serving the same physical path, otherwise the ends re-steer
+   against different paths.  The paper's insight: each path's ToF is
+   unique, and both ends' super-resolvers observe the same ToFs, so
+   matching sorted ToFs associates the beams.
+2. **Misalignment estimation** — rotation changes only the UE-side gain;
+   translation changes both ends' gains *by the same angle*.  Each case
+   inverts through the appropriate (sum of) beam pattern(s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import brentq
+
+from repro.arrays.patterns import first_null_offset, ula_power_pattern
+
+
+def associate_beams(
+    gnb_delays_s: Sequence[float], ue_delays_s: Sequence[float]
+) -> List[Tuple[int, int]]:
+    """Match gNB beams to UE beams by ToF unicity.
+
+    Both ends observe the same physical paths, so sorting each side's
+    per-beam ToF estimates and pairing rank-for-rank yields the
+    association.  Returns ``(gnb_index, ue_index)`` pairs.  Requires equal
+    beam counts — a mismatch means one end tracks a path the other lost.
+    """
+    gnb = np.asarray(list(gnb_delays_s), dtype=float)
+    ue = np.asarray(list(ue_delays_s), dtype=float)
+    if gnb.size != ue.size:
+        raise ValueError(
+            f"beam count mismatch: gNB has {gnb.size}, UE has {ue.size}"
+        )
+    if gnb.size == 0:
+        raise ValueError("no beams to associate")
+    gnb_order = np.argsort(gnb)
+    ue_order = np.argsort(ue)
+    return [(int(g), int(u)) for g, u in zip(gnb_order, ue_order)]
+
+
+@dataclass(frozen=True)
+class UeMisalignmentEstimator:
+    """Inverts per-beam power drops into misalignment angles (Fig. 12).
+
+    Parameters
+    ----------
+    gnb_elements / ue_elements:
+        Array sizes at each end (their patterns differ in width).
+    spacing_wavelengths:
+        Element spacing of both arrays (lambda/2 in the testbed).
+    """
+
+    gnb_elements: int
+    ue_elements: int
+    spacing_wavelengths: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.gnb_elements < 2 or self.ue_elements < 2:
+            raise ValueError("both arrays need at least 2 elements")
+
+    def rotation_angle(
+        self, power_drop_db: float, beam_angle_rad: float = 0.0
+    ) -> float:
+        """|rotation| [rad] when only the UE rotated in place.
+
+        Rotation leaves the gNB-side geometry untouched, so the whole drop
+        comes from the UE pattern alone.
+        """
+        return self._invert_single(
+            self.ue_elements, power_drop_db, beam_angle_rad
+        )
+
+    def translation_angle(
+        self,
+        power_drop_db: float,
+        gnb_beam_angle_rad: float = 0.0,
+        ue_beam_angle_rad: float = 0.0,
+    ) -> float:
+        """|misalignment| [rad] when the UE translated.
+
+        Translation swings the path's bearing at *both* ends by the same
+        angle (far-field geometry), so the measured drop is the sum of the
+        two patterns' losses; invert that sum.
+        """
+        if power_drop_db < 0:
+            raise ValueError(
+                f"power_drop_db must be >= 0, got {power_drop_db!r}"
+            )
+        if power_drop_db == 0:
+            return 0.0
+
+        def combined_drop(offset: float) -> float:
+            gnb = ula_power_pattern(
+                self.gnb_elements, offset, gnb_beam_angle_rad,
+                self.spacing_wavelengths,
+            )
+            ue = ula_power_pattern(
+                self.ue_elements, offset, ue_beam_angle_rad,
+                self.spacing_wavelengths,
+            )
+            return -10.0 * np.log10(max(gnb * ue, 1e-30)) - power_drop_db
+
+        edge = min(
+            first_null_offset(
+                self.gnb_elements, gnb_beam_angle_rad, self.spacing_wavelengths
+            ),
+            first_null_offset(
+                self.ue_elements, ue_beam_angle_rad, self.spacing_wavelengths
+            ),
+        ) * (1.0 - 1e-9)
+        if combined_drop(edge) < 0:
+            return float(edge)
+        return float(brentq(combined_drop, 0.0, edge))
+
+    def _invert_single(
+        self, num_elements: int, power_drop_db: float, beam_angle_rad: float
+    ) -> float:
+        if power_drop_db < 0:
+            raise ValueError(
+                f"power_drop_db must be >= 0, got {power_drop_db!r}"
+            )
+        if power_drop_db == 0:
+            return 0.0
+        target = 10.0 ** (-power_drop_db / 10.0)
+
+        def objective(offset: float) -> float:
+            return (
+                ula_power_pattern(
+                    num_elements, offset, beam_angle_rad,
+                    self.spacing_wavelengths,
+                )
+                - target
+            )
+
+        edge = first_null_offset(
+            num_elements, beam_angle_rad, self.spacing_wavelengths
+        ) * (1.0 - 1e-9)
+        if objective(edge) > 0:
+            return float(edge)
+        return float(brentq(objective, 0.0, edge))
+
+    def realignment_plan(
+        self,
+        association: Sequence[Tuple[int, int]],
+        misalignment_rad: Sequence[float],
+        motion: str = "translation",
+    ) -> List[Tuple[int, float, int, float]]:
+        """Per-beam steering corrections for both ends (Fig. 12).
+
+        For translation the gNB and UE beams of one path rotate in
+        opposite senses as seen from their own boresights, so the plan
+        applies ``+varphi`` at the gNB and ``-varphi`` at the UE (the
+        probe-based sign resolution may flip the overall sign).  Pure
+        rotation needs correction only at the UE.
+
+        Returns tuples ``(gnb_beam, gnb_correction, ue_beam,
+        ue_correction)``.
+        """
+        if motion not in ("translation", "rotation"):
+            raise ValueError(
+                f"motion must be 'translation' or 'rotation', got {motion!r}"
+            )
+        if len(association) != len(misalignment_rad):
+            raise ValueError(
+                "association and misalignment_rad must have equal length"
+            )
+        plan = []
+        for (gnb_beam, ue_beam), angle in zip(association, misalignment_rad):
+            if motion == "rotation":
+                plan.append((gnb_beam, 0.0, ue_beam, float(angle)))
+            else:
+                plan.append((gnb_beam, float(angle), ue_beam, -float(angle)))
+        return plan

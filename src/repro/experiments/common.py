@@ -1,0 +1,118 @@
+"""Shared experiment plumbing: standard array, configs, manager builders."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arrays import UniformLinearArray, uniform_codebook
+from repro.baselines import (
+    BeamSpySingleBeam,
+    OracleBeam,
+    ReactiveSingleBeam,
+    WideBeam,
+)
+from repro.beamtraining import ExhaustiveTrainer, HierarchicalTrainer
+from repro.core.maintenance import MultiBeamManager
+from repro.phy.ofdm import ChannelSounder, OfdmConfig
+
+#: The testbed's azimuth array: 8 elements at 28 GHz, lambda/2 spacing.
+TESTBED_ULA = UniformLinearArray(num_elements=8)
+
+#: Main evaluation bandwidth (indoor testbed).
+FULL_BAND = 400e6
+#: Outdoor / micro-benchmark bandwidth (USRP X300 setup).
+NARROW_BAND = 100e6
+
+#: CSI grid size used throughout the experiments.
+NUM_SUBCARRIERS = 64
+
+#: Codebook size for exhaustive SSB sweeps.
+CODEBOOK_SIZE = 33
+
+
+def make_config(bandwidth_hz: float = FULL_BAND) -> OfdmConfig:
+    """The standard OFDM configuration for experiments."""
+    return OfdmConfig(
+        bandwidth_hz=bandwidth_hz, num_subcarriers=NUM_SUBCARRIERS
+    )
+
+
+def make_sounder(
+    seed: int, bandwidth_hz: float = FULL_BAND, cfo_model=None
+) -> ChannelSounder:
+    return ChannelSounder(
+        config=make_config(bandwidth_hz), cfo_model=cfo_model, rng=seed
+    )
+
+
+def make_manager(
+    kind: str,
+    seed: int,
+    array: UniformLinearArray = TESTBED_ULA,
+    bandwidth_hz: float = FULL_BAND,
+    num_beams: int = 2,
+    **overrides,
+):
+    """Build any of the evaluated beam managers by name.
+
+    ``kind`` is one of ``mmreliable``, ``mmreliable-static`` (no tracking,
+    for the Fig. 18a static comparison), ``mmreliable-nocc`` (tracking
+    without constructive combining), ``reactive``, ``beamspy``,
+    ``widebeam``, ``oracle``.
+    """
+    sounder = make_sounder(seed, bandwidth_hz)
+    exhaustive = ExhaustiveTrainer(
+        codebook=uniform_codebook(array, CODEBOOK_SIZE), sounder=sounder
+    )
+    hierarchical = HierarchicalTrainer(
+        array=array, sounder=sounder, num_levels=5
+    )
+    if kind == "mmreliable":
+        return MultiBeamManager(
+            array=array, sounder=sounder, trainer=exhaustive,
+            num_beams=num_beams, **overrides,
+        )
+    if kind == "mmreliable-static":
+        return MultiBeamManager(
+            array=array, sounder=sounder, trainer=exhaustive,
+            num_beams=num_beams, enable_tracking=False, **overrides,
+        )
+    if kind == "mmreliable-nocc":
+        return MultiBeamManager(
+            array=array, sounder=sounder, trainer=exhaustive,
+            num_beams=num_beams, constructive=False, **overrides,
+        )
+    if kind == "mmreliable-notrack-nocc":
+        return MultiBeamManager(
+            array=array, sounder=sounder, trainer=exhaustive,
+            num_beams=num_beams, enable_tracking=False, constructive=True,
+            enable_blockage_response=False, **overrides,
+        )
+    if kind == "reactive":
+        return ReactiveSingleBeam(
+            array=array, sounder=sounder, trainer=hierarchical, **overrides
+        )
+    if kind == "beamspy":
+        return BeamSpySingleBeam(
+            array=array, sounder=sounder, trainer=exhaustive, **overrides
+        )
+    if kind == "widebeam":
+        return WideBeam(
+            array=array, sounder=sounder, trainer=exhaustive,
+            active_elements=3, **overrides,
+        )
+    if kind == "oracle":
+        return OracleBeam(array=array, sounder=sounder, **overrides)
+    raise ValueError(f"unknown manager kind {kind!r}")
+
+
+def format_series(label: str, xs, ys, unit_x: str = "", unit_y: str = "",
+                  max_rows: int = 12) -> str:
+    """Render a series as aligned rows, decimating long series."""
+    xs = np.asarray(xs)
+    ys = np.asarray(ys)
+    stride = max(1, len(xs) // max_rows)
+    lines = [f"-- {label} --"]
+    for x, y in zip(xs[::stride], ys[::stride]):
+        lines.append(f"  {x:>12.4g} {unit_x:<6s} {y:>12.4g} {unit_y}")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""Fig. 7/8 — delay phased array frequency response (Section 3.4).
+
+A 2-path channel with 5 ns / 10 ns delay spread is driven through three
+beamformers: a single beam (flat but weak reference), an uncompensated
+multi-beam (notches across the band), and the delay-optimized multi-beam
+(flat at the combined level).  The series reproduce both figures'
+qualitative content: flat compensated response, periodic destructive
+notches otherwise, with notch spacing ``1 / delay_spread``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.arrays.steering import single_beam_weights
+from repro.core.delay_opt import band_response_db, build_delay_array, flatness_db
+from repro.experiments.common import TESTBED_ULA
+from repro.sim.scenarios import two_path_channel
+
+
+@dataclass(frozen=True)
+class DelayArrayResponse:
+    frequencies_hz: np.ndarray
+    #: label -> per-frequency received power [dB]
+    responses_db: Dict[str, np.ndarray]
+
+    def ripple_db(self, label: str) -> float:
+        return flatness_db(self.responses_db[label])
+
+
+def run_band_responses(
+    delay_spreads_s=(5e-9, 10e-9),
+    num_frequencies: int = 201,
+    delta_db: float = 0.0,
+) -> DelayArrayResponse:
+    """SNR-vs-frequency series for each compensation variant (Fig. 8)."""
+    array = TESTBED_ULA
+    freqs = np.linspace(-200e6, 200e6, num_frequencies)
+    responses: Dict[str, np.ndarray] = {}
+    for spread in delay_spreads_s:
+        channel = two_path_channel(
+            array, delta_db=delta_db, excess_delay_s=spread
+        )
+        label = f"{spread * 1e9:.0f}ns"
+        uncompensated = build_delay_array(array, channel, 2, compensate=False)
+        compensated = build_delay_array(array, channel, 2, compensate=True)
+        responses[f"multibeam-uncompensated-{label}"] = band_response_db(
+            uncompensated, channel, freqs
+        )
+        responses[f"mmreliable-delay-optimized-{label}"] = band_response_db(
+            compensated, channel, freqs
+        )
+        # Single-beam reference: flat, but misses the second path's power.
+        w = single_beam_weights(array, channel.paths[0].aod_rad)
+        single = np.abs(channel.frequency_response(w, freqs)) ** 2
+        responses[f"single-beam-{label}"] = 10.0 * np.log10(single)
+    return DelayArrayResponse(frequencies_hz=freqs, responses_db=responses)
+
+
+def report(result: DelayArrayResponse) -> str:
+    lines = ["Fig. 8 — band response ripple (peak-to-trough, dB)"]
+    for label in sorted(result.responses_db):
+        ripple = result.ripple_db(label)
+        mean = float(np.mean(result.responses_db[label]))
+        lines.append(
+            f"  {label:<36s} ripple {ripple:6.2f} dB   mean {mean:8.2f} dB"
+        )
+    lines.append(
+        "  expectation: delay-optimized ripple << uncompensated ripple,"
+    )
+    lines.append(
+        "  and uncompensated 10ns shows twice the notch density of 5ns."
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(report(run_band_responses()))

@@ -1,0 +1,248 @@
+"""Fig. 15 — constructive combining accuracy and SNR gain.
+
+(a) SNR vs the applied phase of the 2nd beam (exhaustive scan), with the
+    two-probe estimate marked.  Paper: ~1 dB variation within +/-70 deg
+    of the optimum, ~13 dB penalty at 180 deg error.
+(b) SNR vs the applied amplitude of the 2nd beam; plateau around
+    -5..-3 dB, two-probe estimate inside the plateau.
+(c) The estimated per-beam relative phase is stable (<1 rad drift)
+    across a 100 MHz band.
+(d) SNR gain over single beam: 2-beam, 3-beam, and the per-antenna
+    oracle.  Paper: 1.04 dB / 2.27 dB / 2.5 dB — 3 beams reach ~92% of
+    the oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.arrays.steering import single_beam_weights
+from repro.core.multibeam import (
+    MultiBeam,
+    multibeam_from_channel,
+    optimal_mrt_weights,
+)
+from repro.core.probing import ProbeController, two_probe_ratio
+from repro.experiments.common import (
+    NARROW_BAND,
+    TESTBED_ULA,
+    make_sounder,
+)
+from repro.sim.scenarios import three_path_channel, two_path_channel
+from repro.utils import complex_from_polar
+
+#: The indoor micro-benchmark channel: LOS 0 deg, NLOS 30 deg, 7 m.
+DELTA_DB = -4.0
+SIGMA_RAD = 2.5
+
+
+def _make_channel(array=TESTBED_ULA):
+    # ~0.5 ns excess delay: a 30-degree reflector close to a 7 m link.
+    return two_path_channel(
+        array, delta_db=DELTA_DB, sigma_rad=SIGMA_RAD, distance_m=7.0,
+        excess_delay_s=0.5e-9,
+    )
+
+
+def _link_snr_db(sounder, channel, weights) -> float:
+    return sounder.link_snr_db(channel, weights)
+
+
+@dataclass(frozen=True)
+class CombiningAccuracy:
+    scan_phases_rad: np.ndarray
+    snr_vs_phase_db: np.ndarray
+    scan_amplitudes_db: np.ndarray
+    snr_vs_amplitude_db: np.ndarray
+    estimated_phase_rad: float
+    estimated_amplitude_db: float
+
+    @property
+    def best_scan_phase_rad(self) -> float:
+        return float(self.scan_phases_rad[np.argmax(self.snr_vs_phase_db)])
+
+    @property
+    def phase_penalty_at_opposite_db(self) -> float:
+        """SNR cost of a 180-degree phase error (paper: ~13 dB)."""
+        best = np.max(self.snr_vs_phase_db)
+        opposite = self.best_scan_phase_rad + np.pi
+        index = np.argmin(
+            np.abs(
+                np.angle(np.exp(1j * (self.scan_phases_rad - opposite)))
+            )
+        )
+        return float(best - self.snr_vs_phase_db[index])
+
+
+def run_combining_accuracy(
+    seed: int = 0, num_scan: int = 73
+) -> CombiningAccuracy:
+    """Fig. 15(a)(b): exhaustive scans vs the two-probe estimate."""
+    array = TESTBED_ULA
+    channel = _make_channel(array)
+    sounder = make_sounder(seed, NARROW_BAND)
+    angles = (0.0, np.deg2rad(30.0))
+    estimated_amp_db = None
+
+    # Exhaustive phase scan with both beams at 0 dB, as in the paper's
+    # setup ("the phase and amplitude of the first beam to be 0 radians,
+    # 0 dB" with the second beam swept in phase at equal amplitude).
+    phases = np.linspace(0.0, 2 * np.pi, num_scan)
+    snr_phase = np.empty(num_scan)
+    for i, phase in enumerate(phases):
+        gains = (1.0, complex_from_polar(1.0, phase))
+        multibeam = MultiBeam(
+            array=array, angles_rad=angles, relative_gains=gains
+        )
+        snr_phase[i] = _link_snr_db(
+            sounder, channel, multibeam.weights().vector
+        )
+
+    # Exhaustive amplitude scan at the best phase.
+    amplitudes_db = np.linspace(-10.0, 2.0, num_scan)
+    best_phase = float(phases[np.argmax(snr_phase)])
+    snr_amp = np.empty(num_scan)
+    for i, amp_db in enumerate(amplitudes_db):
+        gains = (1.0, complex_from_polar(10 ** (amp_db / 20.0), best_phase))
+        multibeam = MultiBeam(
+            array=array, angles_rad=angles, relative_gains=gains
+        )
+        snr_amp[i] = _link_snr_db(
+            sounder, channel, multibeam.weights().vector
+        )
+
+    # The two-probe estimate.
+    controller = ProbeController(array=array, sounder=sounder)
+    estimate = controller.estimate_relative_gains(channel, list(angles))
+    gain = estimate.relative_gains[1]
+    # Weight synthesis conjugates the gain: the *applied* beam phase that
+    # maximizes SNR equals the channel's relative phase.
+    return CombiningAccuracy(
+        scan_phases_rad=phases,
+        snr_vs_phase_db=snr_phase,
+        scan_amplitudes_db=amplitudes_db,
+        snr_vs_amplitude_db=snr_amp,
+        estimated_phase_rad=float(np.mod(np.angle(gain), 2 * np.pi)),
+        estimated_amplitude_db=float(20 * np.log10(abs(gain))),
+    )
+
+
+def run_phase_stability(
+    seed: int = 1, bandwidth_hz: float = NARROW_BAND
+) -> np.ndarray:
+    """Fig. 15(c): per-subcarrier relative phase across the band [rad]."""
+    array = TESTBED_ULA
+    channel = _make_channel(array)
+    sounder = make_sounder(seed, bandwidth_hz)
+    controller = ProbeController(array=array, sounder=sounder)
+    angles = [0.0, np.deg2rad(30.0)]
+    powers = controller.measure_reference_powers(channel, angles)
+    # Re-run the probe pair and keep the per-subcarrier ratios.
+    from repro.core.multibeam import equal_split_probe_weights
+
+    measured = []
+    for phase in (0.0, np.pi / 2.0):
+        weights, norm = equal_split_probe_weights(
+            array, angles, (0.0, phase)
+        )
+        estimate = sounder.sound(channel, weights)
+        measured.append(np.abs(estimate.csi) ** 2 * norm ** 2)
+    p1 = np.maximum(powers[0], np.max(powers[0]) * 1e-6)
+    ratio = two_probe_ratio(p1, powers[1], measured[0], measured[1])
+    return np.unwrap(np.angle(ratio))
+
+
+@dataclass(frozen=True)
+class SnrGains:
+    gains_db: Dict[str, float]
+
+    def fraction_of_oracle(self, label: str) -> float:
+        return self.gains_db[label] / self.gains_db["oracle"]
+
+
+def run_snr_gains(seed: int = 2, num_trials: int = 20) -> SnrGains:
+    """Fig. 15(d): average SNR gain of 2/3-beam and oracle vs single beam."""
+    array = TESTBED_ULA
+    rng = np.random.default_rng(seed)
+    totals = {"2-beam": 0.0, "3-beam": 0.0, "oracle": 0.0}
+    for trial in range(num_trials):
+        # Three usable reflections plus a weak fourth cluster: the oracle
+        # harvests all four, the 3-beam multi-beam the first three.
+        channel = three_path_channel(
+            array,
+            angles_rad=(
+                0.0, np.deg2rad(30.0), np.deg2rad(-25.0), np.deg2rad(48.0),
+            ),
+            deltas_db=(
+                0.0, rng.uniform(-6, -3), rng.uniform(-9, -6),
+                rng.uniform(-14, -10),
+            ),
+            sigmas_rad=tuple(rng.uniform(0, 2 * np.pi, 4)),
+            excess_delays_s=(0.0, 1.2e-9, 2.2e-9, 3.4e-9),
+        )
+        sounder = make_sounder(seed * 1000 + trial, NARROW_BAND)
+        single = _link_snr_db(
+            sounder, channel, single_beam_weights(array, 0.0)
+        )
+        totals["2-beam"] += (
+            _link_snr_db(
+                sounder, channel,
+                multibeam_from_channel(channel, 2).weights().vector,
+            )
+            - single
+        )
+        totals["3-beam"] += (
+            _link_snr_db(
+                sounder, channel,
+                multibeam_from_channel(channel, 3).weights().vector,
+            )
+            - single
+        )
+        totals["oracle"] += (
+            _link_snr_db(sounder, channel, optimal_mrt_weights(channel))
+            - single
+        )
+    return SnrGains(
+        gains_db={k: v / num_trials for k, v in totals.items()}
+    )
+
+
+def report(
+    accuracy: CombiningAccuracy,
+    phase_stability_rad: np.ndarray,
+    gains: SnrGains,
+) -> str:
+    drift = float(np.max(phase_stability_rad) - np.min(phase_stability_rad))
+    lines = [
+        "Fig. 15(a) — phase scan",
+        f"  optimal applied phase: {accuracy.best_scan_phase_rad:5.2f} rad; "
+        f"two-probe estimate: {accuracy.estimated_phase_rad:5.2f} rad",
+        f"  penalty at 180 deg error: "
+        f"{accuracy.phase_penalty_at_opposite_db:5.2f} dB (paper: ~13 dB)",
+        "Fig. 15(b) — amplitude scan",
+        f"  two-probe amplitude estimate: "
+        f"{accuracy.estimated_amplitude_db:6.2f} dB (true {DELTA_DB} dB)",
+        "Fig. 15(c) — phase stability over 100 MHz",
+        f"  max phase drift across band: {drift:5.2f} rad (paper: < 1 rad)",
+        "Fig. 15(d) — SNR gain vs single beam",
+    ]
+    for label in ("2-beam", "3-beam", "oracle"):
+        lines.append(f"  {label:<8s} {gains.gains_db[label]:5.2f} dB")
+    lines.append(
+        f"  3-beam reaches {100 * gains.fraction_of_oracle('3-beam'):4.0f}% "
+        "of oracle (paper: ~92%)"
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(
+        report(
+            run_combining_accuracy(),
+            run_phase_stability(),
+            run_snr_gains(),
+        )
+    )

@@ -1,0 +1,115 @@
+"""Fig. 16 — blockage resilience of multi-beam vs single beam.
+
+One of the authors walks across the established link: the walker crosses
+the NLOS beam first, then the LOS beam.  For the single-beam link the LOS
+crossing costs ~26 dB and drops it below the 6 dB decoding threshold
+(outage).  The multi-beam link dips only ~7 dB at each crossing because
+the unblocked beam keeps carrying signal, and never enters outage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.blockage import HumanBlocker
+from repro.experiments.common import TESTBED_ULA, make_manager
+from repro.phy.mcs import OUTAGE_SNR_DB
+from repro.sim.link import LinkSimulator
+from repro.sim.scenarios import SyntheticScenario, two_path_channel
+
+
+@dataclass(frozen=True)
+class BlockageTimeSeries:
+    times_s: np.ndarray
+    single_beam_snr_db: np.ndarray
+    multibeam_snr_db: np.ndarray
+    outage_threshold_db: float = OUTAGE_SNR_DB
+
+    @property
+    def single_beam_max_drop_db(self) -> float:
+        return float(
+            np.max(self.single_beam_snr_db) - np.min(self.single_beam_snr_db)
+        )
+
+    @property
+    def multibeam_max_drop_db(self) -> float:
+        return float(
+            np.max(self.multibeam_snr_db) - np.min(self.multibeam_snr_db)
+        )
+
+    @property
+    def single_beam_outage_ms(self) -> float:
+        step = float(self.times_s[1] - self.times_s[0])
+        return 1e3 * step * int(
+            np.sum(self.single_beam_snr_db < self.outage_threshold_db)
+        )
+
+    @property
+    def multibeam_outage_ms(self) -> float:
+        step = float(self.times_s[1] - self.times_s[0])
+        return 1e3 * step * int(
+            np.sum(self.multibeam_snr_db < self.outage_threshold_db)
+        )
+
+
+def run_walking_blocker(
+    seed: int = 0,
+    duration_s: float = 3.0,
+    delta_db: float = -3.5,
+    depth_db: float = 26.0,
+) -> BlockageTimeSeries:
+    """The walking-blocker experiment of Fig. 16."""
+    array = TESTBED_ULA
+    base = two_path_channel(array, delta_db=delta_db)
+    blocker = HumanBlocker(
+        distance_from_tx_m=3.5,
+        speed_mps=1.2,
+        body_width_m=0.45,
+        lateral_start_m=-1.0,
+        depth_db=depth_db,
+    )
+    # Walker starts past the NLOS crossing going toward +x: sweeps the
+    # NLOS (30 deg, lateral +2.0 m) after the LOS (0 deg, lateral 0 m).
+    schedule = blocker.crossing_schedule(
+        [p.aod_rad for p in base.paths], start_time_s=0.4
+    )
+    scenario = SyntheticScenario(base_channel=base, blockage=schedule)
+
+    def snr_series(manager):
+        simulator = LinkSimulator(
+            scenario=scenario, manager=manager, duration_s=duration_s
+        )
+        trace = simulator.run()
+        return trace.times_s, trace.snr_db
+
+    times, multi = snr_series(make_manager("mmreliable", seed))
+    # The single-beam reference holds its beam through the event (its
+    # reactive recovery is far slower than a walking crossing).
+    _, single = snr_series(
+        make_manager("reactive", seed, reaction_delay_s=10.0)
+    )
+    return BlockageTimeSeries(
+        times_s=times, single_beam_snr_db=single, multibeam_snr_db=multi
+    )
+
+
+def report(series: BlockageTimeSeries) -> str:
+    return "\n".join(
+        [
+            "Fig. 16 — walking blocker across both beams",
+            f"  single-beam max SNR drop: "
+            f"{series.single_beam_max_drop_db:5.1f} dB (paper: ~26 dB)",
+            f"  multi-beam  max SNR drop: "
+            f"{series.multibeam_max_drop_db:5.1f} dB (paper: ~7 dB)",
+            f"  single-beam outage time: "
+            f"{series.single_beam_outage_ms:6.1f} ms",
+            f"  multi-beam  outage time: "
+            f"{series.multibeam_outage_ms:6.1f} ms (paper: 0 — no outage)",
+        ]
+    )
+
+
+if __name__ == "__main__":
+    print(report(run_walking_blocker()))

@@ -1,0 +1,214 @@
+"""Fig. 17 — proactive tracking accuracy and its throughput payoff.
+
+(a) Per-beam power measured by super-resolution follows the beam pattern
+    as the array rotates — for the NLOS beam too.
+(b) Rotation-angle estimation error: ~1 degree mean error over 2-8 degree
+    rotations.
+(c) Throughput time series over a 1 s translation at 1.5 m/s:
+    no tracking collapses; tracking alone recovers most; tracking +
+    constructive combining (CC) sustains the highest throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.arrays.patterns import ula_power_pattern
+from repro.channel.wideband import cir_from_frequency_response
+from repro.core.superres import SuperResolver, estimate_pulse_tof
+from repro.core.tracking import BeamTracker, PowerSmoother
+from repro.experiments.common import (
+    FULL_BAND,
+    TESTBED_ULA,
+    make_manager,
+    make_sounder,
+)
+from repro.sim.link import LinkSimulator
+from repro.sim.scenarios import SyntheticScenario, two_path_channel
+
+
+@dataclass(frozen=True)
+class PerBeamPowerTrace:
+    rotation_deg: np.ndarray
+    measured_power_db: np.ndarray  # (num_rotations, 2)
+    pattern_db: np.ndarray  # analytic per-beam pattern
+
+    def fit_error_db(self) -> float:
+        """Mean absolute error between measured powers and the pattern."""
+        measured = self.measured_power_db - self.measured_power_db[0]
+        return float(np.mean(np.abs(measured - self.pattern_db)))
+
+
+def run_per_beam_power_trace(
+    max_rotation_deg: float = 6.0, steps: int = 25, seed: int = 0
+) -> PerBeamPowerTrace:
+    """Fig. 17(a): measured per-beam power vs rotation angle."""
+    array = TESTBED_ULA
+    channel0 = two_path_channel(array, delta_db=-4.0)
+    sounder = make_sounder(seed)
+    from repro.core.multibeam import multibeam_from_channel
+
+    multibeam = multibeam_from_channel(channel0, 2)
+    weights = multibeam.weights().vector
+    # Anchor the resolver exactly as the manager would.
+    from repro.arrays.steering import single_beam_weights
+
+    tofs = []
+    for angle in multibeam.angles_rad:
+        est = sounder.sound(channel0, single_beam_weights(array, angle))
+        tofs.append(
+            estimate_pulse_tof(
+                cir_from_frequency_response(est.csi), FULL_BAND
+            )
+        )
+    resolver = SuperResolver(
+        bandwidth_hz=FULL_BAND,
+        relative_delays_s=np.asarray(tofs) - tofs[0],
+        initial_base_s=float(tofs[0]),
+    )
+    rotations = np.linspace(0.0, np.deg2rad(max_rotation_deg), steps)
+    measured = np.empty((steps, 2))
+    for i, rotation in enumerate(rotations):
+        channel = channel0.rotated(rotation)
+        estimate = sounder.sound(channel, weights)
+        cir = cir_from_frequency_response(estimate.csi)
+        measured[i] = resolver.estimate(cir).per_beam_power_db()
+    pattern = np.stack(
+        [
+            10.0
+            * np.log10(
+                ula_power_pattern(
+                    array.num_elements, rotations, steer_angle_rad=angle
+                )
+            )
+            for angle in multibeam.angles_rad
+        ],
+        axis=1,
+    )
+    return PerBeamPowerTrace(
+        rotation_deg=np.rad2deg(rotations),
+        measured_power_db=measured,
+        pattern_db=pattern,
+    )
+
+
+def run_angle_accuracy(
+    rotations_deg=(2.0, 4.0, 6.0, 8.0),
+    num_trials: int = 10,
+    seed: int = 1,
+) -> Dict[float, float]:
+    """Fig. 17(b): mean |angle error| per true rotation, LOS beam."""
+    array = TESTBED_ULA
+    rng = np.random.default_rng(seed)
+    errors: Dict[float, float] = {}
+    for rotation_deg in rotations_deg:
+        rotation = np.deg2rad(rotation_deg)
+        drop_db = -10.0 * np.log10(
+            ula_power_pattern(array.num_elements, rotation)
+        )
+        trial_errors = []
+        for _ in range(num_trials):
+            tracker = BeamTracker(
+                num_elements=array.num_elements,
+                steer_angle_rad=0.0,
+                max_drop_db=25.0,
+                smoother=PowerSmoother(forgetting_factor=0.7, window=8),
+            )
+            tracker.anchor(-40.0)
+            estimate = 0.0
+            for step, t in enumerate(np.arange(0.0, 0.05, 0.005)):
+                noisy = -40.0 - drop_db + rng.normal(0.0, 0.5)
+                estimate = tracker.update(t, noisy)
+            trial_errors.append(abs(np.rad2deg(estimate) - rotation_deg))
+        errors[rotation_deg] = float(np.mean(trial_errors))
+    return errors
+
+
+@dataclass(frozen=True)
+class ThroughputComparison:
+    times_s: np.ndarray
+    #: label -> throughput series [Mbps]
+    series_mbps: Dict[str, np.ndarray]
+
+    def mean_mbps(self, label: str) -> float:
+        return float(np.mean(self.series_mbps[label]))
+
+    def final_mbps(self, label: str) -> float:
+        return float(np.mean(self.series_mbps[label][-100:]))
+
+
+def run_throughput_timeseries(
+    speed_mps: float = 1.5, duration_s: float = 1.0, seed: int = 2
+) -> ThroughputComparison:
+    """Fig. 17(c): throughput under translation for three system variants."""
+    from repro.phy.mcs import spectral_efficiency
+
+    array = TESTBED_ULA
+    variants = {
+        "no-tracking": "mmreliable-notrack-nocc",
+        "tracking-only": "mmreliable-nocc",
+        "tracking+CC": "mmreliable",
+    }
+    series: Dict[str, np.ndarray] = {}
+    times = None
+    for label, kind in variants.items():
+        scenario = SyntheticScenario(
+            base_channel=two_path_channel(array, delta_db=-4.0),
+            angular_rates_rad_s=(
+                speed_mps / 7.0, 0.6 * speed_mps / 7.0,
+            ),
+        )
+        simulator = LinkSimulator(
+            scenario=scenario,
+            manager=make_manager(kind, seed),
+            duration_s=duration_s,
+        )
+        trace = simulator.run()
+        throughput = np.array(
+            [spectral_efficiency(snr) for snr in trace.snr_db]
+        ) * trace.bandwidth_hz / 1e6
+        series[label] = throughput
+        times = trace.times_s
+    return ThroughputComparison(times_s=times, series_mbps=series)
+
+
+def report(
+    power_trace: PerBeamPowerTrace,
+    angle_errors: Dict[float, float],
+    throughput: ThroughputComparison,
+) -> str:
+    lines = [
+        "Fig. 17(a) — per-beam power vs rotation",
+        f"  mean |measured - pattern| error: "
+        f"{power_trace.fit_error_db():5.2f} dB (paper: ~1 dB)",
+        "Fig. 17(b) — rotation angle estimation error",
+    ]
+    for rotation_deg, error in angle_errors.items():
+        lines.append(
+            f"  rotation {rotation_deg:4.1f} deg -> mean error "
+            f"{error:5.2f} deg"
+        )
+    lines.append(
+        f"  overall mean error: "
+        f"{np.mean(list(angle_errors.values())):5.2f} deg (paper: ~1 deg)"
+    )
+    lines.append("Fig. 17(c) — throughput under 1.5 m/s translation")
+    for label in ("no-tracking", "tracking-only", "tracking+CC"):
+        lines.append(
+            f"  {label:<14s} mean {throughput.mean_mbps(label):7.1f} Mbps  "
+            f"final {throughput.final_mbps(label):7.1f} Mbps"
+        )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(
+        report(
+            run_per_beam_power_trace(),
+            run_angle_accuracy(),
+            run_throughput_timeseries(),
+        )
+    )

@@ -1,0 +1,160 @@
+"""Registry mapping experiment ids to their run-and-report entry points.
+
+Used by the CLI (``python -m repro run fig14``) and by anyone scripting
+over the full reproduction.  Each entry produces the printable report for
+one paper figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One registered experiment."""
+
+    identifier: str
+    title: str
+    run_report: Callable[[], str]
+
+
+def _fig04() -> str:
+    from repro.experiments import fig04_reflectors as m
+
+    return m.report(m.run_attenuation_study())
+
+
+def _fig08() -> str:
+    from repro.experiments import fig08_delay_array as m
+
+    return m.report(m.run_band_responses())
+
+
+def _fig11() -> str:
+    from repro.experiments import fig11_superres as m
+
+    return m.report(m.run_mse_sweep(), m.run_two_sinc_recovery())
+
+
+def _fig13() -> str:
+    from repro.experiments import fig13_patterns as m
+
+    return m.report(
+        {k: m.run_pattern_comparison(num_beams=k) for k in (2, 3)}
+    )
+
+
+def _fig14() -> str:
+    from repro.experiments import fig14_sensitivity as m
+
+    return m.report(m.run_sensitivity_grid())
+
+
+def _fig15() -> str:
+    from repro.experiments import fig15_combining as m
+
+    return m.report(
+        m.run_combining_accuracy(), m.run_phase_stability(), m.run_snr_gains()
+    )
+
+
+def _fig16() -> str:
+    from repro.experiments import fig16_blockage as m
+
+    return m.report(m.run_walking_blocker())
+
+
+def _fig17() -> str:
+    from repro.experiments import fig17_tracking as m
+
+    return m.report(
+        m.run_per_beam_power_trace(),
+        m.run_angle_accuracy(),
+        m.run_throughput_timeseries(),
+    )
+
+
+def _fig18() -> str:
+    from repro.experiments import fig18_end2end as m
+
+    return m.report(
+        m.run_static_blockers(),
+        m.run_mobile_ensembles(seeds=range(10)),
+        m.run_probing_overhead(),
+    )
+
+
+def _fig19() -> str:
+    from repro.experiments import fig19_60ghz as m
+
+    return m.report(m.run_carrier_comparison())
+
+
+def _reliability() -> str:
+    from repro.experiments import reliability_model as m
+
+    return m.report(m.run_analytic_curves(), m.run_monte_carlo_check())
+
+
+def _robustness() -> str:
+    from repro.experiments import robustness as m
+
+    return m.report(m.run_clustered_ensembles())
+
+
+def _ablations() -> str:
+    from repro.experiments import ablations as m
+
+    return m.report(
+        m.run_cfo_ablation(),
+        m.run_quantization_ablation(),
+        m.run_beam_count_ablation(),
+        m.run_regularization_ablation(),
+        m.run_reprobe_ablation(),
+    )
+
+
+REGISTRY: Dict[str, Experiment] = {
+    e.identifier: e
+    for e in (
+        Experiment("fig04", "Fig. 4 — strength of mmWave multipath", _fig04),
+        Experiment("fig08", "Fig. 7/8 — delay phased array response", _fig08),
+        Experiment("fig11", "Fig. 11 — super-resolution efficiency", _fig11),
+        Experiment(
+            "fig13", "Fig. 13d — multi-beam pattern fidelity", _fig13
+        ),
+        Experiment("fig14", "Fig. 14 — sensitivity to estimation errors", _fig14),
+        Experiment("fig15", "Fig. 15 — constructive combining accuracy", _fig15),
+        Experiment("fig16", "Fig. 16 — blockage resilience", _fig16),
+        Experiment("fig17", "Fig. 17 — proactive tracking", _fig17),
+        Experiment("fig18", "Fig. 18 — end-to-end comparison", _fig18),
+        Experiment("fig19", "Fig. 19 (App. B) — 28 vs 60 GHz", _fig19),
+        Experiment(
+            "reliability", "Sec. 3.1 — reliability model", _reliability
+        ),
+        Experiment(
+            "robustness",
+            "end-to-end on random clustered channels",
+            _robustness,
+        ),
+        Experiment("ablations", "design-choice ablations", _ablations),
+    )
+}
+
+
+def experiment_ids() -> Tuple[str, ...]:
+    """All registered experiment identifiers, in registry order."""
+    return tuple(REGISTRY)
+
+
+def get_experiment(identifier: str) -> Experiment:
+    """Look up one experiment, with a helpful error on typos."""
+    try:
+        return REGISTRY[identifier]
+    except KeyError:
+        known = ", ".join(REGISTRY)
+        raise KeyError(
+            f"unknown experiment {identifier!r}; known: {known}"
+        ) from None

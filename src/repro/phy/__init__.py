@@ -1,0 +1,88 @@
+"""5G NR physical-layer substrate.
+
+Models the parts of NR FR2 the paper's algorithms touch: the 120 kHz
+numerology and slot timing, OFDM channel estimation from reference signals
+(with noise and CFO/SFO), SSB / CSI-RS probe accounting, and the
+SNR -> MCS -> throughput mapping used to score links (6 dB outage
+threshold for decoding NR OFDM, Section 6.1).
+"""
+
+from repro.phy.numerology import Numerology, FR2_120KHZ
+from repro.phy.mcs import (
+    McsEntry,
+    NR_MCS_TABLE,
+    OUTAGE_SNR_DB,
+    select_mcs,
+    spectral_efficiency,
+    throughput_bps,
+    shannon_spectral_efficiency,
+)
+from repro.phy.reference_signals import (
+    ProbeKind,
+    ProbeBudget,
+    csi_rs_duration_s,
+    ssb_duration_s,
+    multibeam_maintenance_probes,
+    multibeam_maintenance_time_s,
+    beam_training_probes,
+    beam_training_time_s,
+    maintenance_overhead_fraction,
+)
+from repro.phy.ofdm import OfdmConfig, ChannelSounder
+from repro.phy.frames import FrameSchedule
+from repro.phy.link_adaptation import (
+    OuterLoopLinkAdaptation,
+    block_error_probability,
+    simulate_olla,
+)
+from repro.phy.qam import (
+    constellation,
+    modulate,
+    demodulate,
+    error_vector_magnitude,
+    evm_to_snr_db,
+    bit_error_rate,
+)
+from repro.phy.waveform import (
+    OfdmWaveformConfig,
+    ofdm_modulate,
+    ofdm_demodulate,
+    run_ofdm_link,
+)
+
+__all__ = [
+    "Numerology",
+    "FR2_120KHZ",
+    "McsEntry",
+    "NR_MCS_TABLE",
+    "OUTAGE_SNR_DB",
+    "select_mcs",
+    "spectral_efficiency",
+    "throughput_bps",
+    "shannon_spectral_efficiency",
+    "ProbeKind",
+    "ProbeBudget",
+    "csi_rs_duration_s",
+    "ssb_duration_s",
+    "multibeam_maintenance_probes",
+    "multibeam_maintenance_time_s",
+    "beam_training_probes",
+    "beam_training_time_s",
+    "maintenance_overhead_fraction",
+    "OfdmConfig",
+    "ChannelSounder",
+    "FrameSchedule",
+    "OuterLoopLinkAdaptation",
+    "block_error_probability",
+    "simulate_olla",
+    "constellation",
+    "modulate",
+    "demodulate",
+    "error_vector_magnitude",
+    "evm_to_snr_db",
+    "bit_error_rate",
+    "OfdmWaveformConfig",
+    "ofdm_modulate",
+    "ofdm_demodulate",
+    "run_ofdm_link",
+]

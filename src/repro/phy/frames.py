@@ -1,0 +1,106 @@
+"""5G NR frame structure and reference-signal scheduling.
+
+The paper's maintenance cadence is set by the NR frame machinery: SSB
+bursts arrive with a default 20 ms period (each burst sweeping up to 64
+beams in 5 ms), while CSI-RS can be scheduled per slot with configurable
+periodicity between 0.5 ms and 80 ms (Section 5.2).  This module computes
+those opportunity grids so simulations can align probe instants with the
+standard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import numpy as np
+
+from repro.phy.numerology import FR2_120KHZ, Numerology
+
+#: Default SSB burst periodicity (TS 38.213).
+DEFAULT_SSB_PERIOD_S = 20e-3
+#: Maximum beams per SSB burst in FR2.
+MAX_SSB_BEAMS_FR2 = 64
+#: CSI-RS periodicity bounds (TS 38.214): 4 to 640 slots at 120 kHz.
+CSI_RS_MIN_PERIOD_S = 0.5e-3
+CSI_RS_MAX_PERIOD_S = 80e-3
+
+
+@dataclass(frozen=True)
+class FrameSchedule:
+    """Opportunity grids for SSB bursts and CSI-RS within a horizon.
+
+    Parameters
+    ----------
+    ssb_period_s:
+        SSB burst periodicity (the paper discusses stretching this to 1 s
+        once maintenance carries the load).
+    csi_rs_period_s:
+        CSI-RS periodicity; must lie within the standard's bounds and be
+        a whole number of slots.
+    """
+
+    numerology: Numerology = FR2_120KHZ
+    ssb_period_s: float = DEFAULT_SSB_PERIOD_S
+    csi_rs_period_s: float = 5e-3
+
+    def __post_init__(self) -> None:
+        if self.ssb_period_s <= 0:
+            raise ValueError("ssb_period_s must be positive")
+        if not (
+            CSI_RS_MIN_PERIOD_S <= self.csi_rs_period_s <= CSI_RS_MAX_PERIOD_S
+        ):
+            raise ValueError(
+                "csi_rs_period_s must be within "
+                f"[{CSI_RS_MIN_PERIOD_S}, {CSI_RS_MAX_PERIOD_S}] s, got "
+                f"{self.csi_rs_period_s!r}"
+            )
+        slot = self.numerology.slot_duration_s
+        slots = self.csi_rs_period_s / slot
+        if abs(slots - round(slots)) > 1e-9:
+            raise ValueError(
+                "csi_rs_period_s must be a whole number of slots "
+                f"({slot * 1e3:.3f} ms each)"
+            )
+
+    def ssb_times(self, horizon_s: float) -> np.ndarray:
+        """Start times of SSB bursts within ``[0, horizon_s)``."""
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        count = int(np.ceil(horizon_s / self.ssb_period_s))
+        times = np.arange(count) * self.ssb_period_s
+        return times[times < horizon_s]
+
+    def csi_rs_times(self, horizon_s: float) -> np.ndarray:
+        """CSI-RS opportunity times within ``[0, horizon_s)``."""
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        count = int(np.ceil(horizon_s / self.csi_rs_period_s))
+        times = np.arange(count) * self.csi_rs_period_s
+        return times[times < horizon_s]
+
+    def next_csi_rs(self, after_s: float) -> float:
+        """The first CSI-RS opportunity strictly after ``after_s``."""
+        index = int(np.floor(after_s / self.csi_rs_period_s)) + 1
+        return index * self.csi_rs_period_s
+
+    def ssb_burst_airtime_s(self, num_beams: int) -> float:
+        """Airtime of one burst sweeping ``num_beams`` directions.
+
+        Four SSB symbols fit per slot pair in FR2; we keep the paper's
+        simpler accounting of 5 ms for a full 64-beam burst, scaled
+        linearly for smaller sweeps.
+        """
+        if not 1 <= num_beams <= MAX_SSB_BEAMS_FR2:
+            raise ValueError(
+                f"num_beams must be in [1, {MAX_SSB_BEAMS_FR2}], got "
+                f"{num_beams!r}"
+            )
+        full_burst_s = 5e-3
+        return full_burst_s * num_beams / MAX_SSB_BEAMS_FR2
+
+    def training_overhead_fraction(self, num_beams: int) -> float:
+        """Airtime fraction consumed by SSB training at this periodicity.
+
+        The paper's motivating number: a 5 ms 64-beam burst every 20 ms
+        is a 25% overhead.
+        """
+        return self.ssb_burst_airtime_s(num_beams) / self.ssb_period_s

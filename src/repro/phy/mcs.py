@@ -1,0 +1,97 @@
+"""SNR -> MCS -> throughput mapping.
+
+A compact NR-style modulation-and-coding table (QPSK through 256-QAM,
+derived from 3GPP TS 38.214 Table 5.1.3.1-2 with standard link-level SNR
+switching points).  Links below the 6 dB outage threshold cannot decode NR
+OFDM at the lowest MCS (Section 6.1) and deliver zero throughput — that
+cliff is what makes single-beam blockage an *outage* rather than a slowdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Minimum SNR [dB] to sustain any MCS; below this the link is in outage.
+OUTAGE_SNR_DB = 6.0
+
+
+@dataclass(frozen=True)
+class McsEntry:
+    """One modulation-and-coding-scheme row."""
+
+    index: int
+    modulation: str
+    bits_per_symbol: int
+    code_rate: float
+    min_snr_db: float
+
+    @property
+    def spectral_efficiency(self) -> float:
+        """Information bits per symbol per subcarrier [bits/s/Hz]."""
+        return self.bits_per_symbol * self.code_rate
+
+
+#: SNR switching points follow the usual ~1.8-2 dB per MCS step ladder,
+#: anchored so MCS 0 becomes decodable exactly at the outage threshold.
+NR_MCS_TABLE: Tuple[McsEntry, ...] = (
+    McsEntry(0, "qpsk", 2, 0.30, 6.0),
+    McsEntry(1, "qpsk", 2, 0.44, 7.5),
+    McsEntry(2, "qpsk", 2, 0.59, 9.0),
+    McsEntry(3, "16qam", 4, 0.37, 10.5),
+    McsEntry(4, "16qam", 4, 0.48, 12.0),
+    McsEntry(5, "16qam", 4, 0.60, 13.5),
+    McsEntry(6, "64qam", 6, 0.45, 15.0),
+    McsEntry(7, "64qam", 6, 0.55, 16.5),
+    McsEntry(8, "64qam", 6, 0.65, 18.0),
+    McsEntry(9, "64qam", 6, 0.75, 19.5),
+    McsEntry(10, "256qam", 8, 0.67, 21.0),
+    McsEntry(11, "256qam", 8, 0.75, 23.0),
+    McsEntry(12, "256qam", 8, 0.83, 25.0),
+    McsEntry(13, "256qam", 8, 0.89, 27.0),
+    McsEntry(14, "256qam", 8, 0.93, 29.0),
+)
+
+
+def select_mcs(snr_db: float) -> Optional[McsEntry]:
+    """Highest MCS decodable at ``snr_db``, or ``None`` in outage."""
+    chosen = None
+    for entry in NR_MCS_TABLE:
+        if snr_db >= entry.min_snr_db:
+            chosen = entry
+        else:
+            break
+    return chosen
+
+
+def spectral_efficiency(snr_db: float) -> float:
+    """Link spectral efficiency [bits/s/Hz]; zero in outage."""
+    entry = select_mcs(snr_db)
+    return 0.0 if entry is None else entry.spectral_efficiency
+
+
+def throughput_bps(
+    snr_db: float, bandwidth_hz: float, overhead_fraction: float = 0.0
+) -> float:
+    """Link throughput [bit/s] after subtracting probing overhead airtime."""
+    if bandwidth_hz <= 0:
+        raise ValueError(f"bandwidth_hz must be positive, got {bandwidth_hz!r}")
+    if not 0.0 <= overhead_fraction < 1.0:
+        raise ValueError(
+            f"overhead_fraction must be in [0, 1), got {overhead_fraction!r}"
+        )
+    return (
+        spectral_efficiency(snr_db) * bandwidth_hz * (1.0 - overhead_fraction)
+    )
+
+
+def shannon_spectral_efficiency(snr_db: float) -> float:
+    """Shannon bound ``log2(1 + SNR)`` [bits/s/Hz] (Eq. 32), for reference."""
+    return float(np.log2(1.0 + 10.0 ** (snr_db / 10.0)))
+
+
+def is_outage(snr_db: float) -> bool:
+    """True when the link cannot decode the lowest MCS."""
+    return snr_db < OUTAGE_SNR_DB

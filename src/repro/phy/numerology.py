@@ -1,0 +1,60 @@
+"""5G NR numerology (3GPP TS 38.211).
+
+NR scales its OFDM parameters by ``mu``: subcarrier spacing is
+``15 kHz * 2^mu`` and a 1 ms subframe holds ``2^mu`` slots of 14 symbols.
+The paper's FR2 testbed uses ``mu = 3`` (120 kHz spacing), giving a
+0.125 ms slot and an 8.93 us symbol — the numbers behind the probe-overhead
+accounting of Fig. 18(d).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+BASE_SUBCARRIER_SPACING_HZ = 15_000.0
+SYMBOLS_PER_SLOT = 14
+SUBFRAME_DURATION_S = 1e-3
+
+
+@dataclass(frozen=True)
+class Numerology:
+    """One NR numerology, indexed by ``mu`` (0..4 in the standard)."""
+
+    mu: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.mu <= 4:
+            raise ValueError(f"mu must be in [0, 4], got {self.mu!r}")
+
+    @property
+    def subcarrier_spacing_hz(self) -> float:
+        """Subcarrier spacing ``15 kHz * 2^mu``."""
+        return BASE_SUBCARRIER_SPACING_HZ * (2 ** self.mu)
+
+    @property
+    def slots_per_subframe(self) -> int:
+        return 2 ** self.mu
+
+    @property
+    def slot_duration_s(self) -> float:
+        """Slot length [s] (0.125 ms at mu=3)."""
+        return SUBFRAME_DURATION_S / self.slots_per_subframe
+
+    @property
+    def symbol_duration_s(self) -> float:
+        """Average OFDM symbol length [s] including cyclic prefix.
+
+        ``slot / 14 ~= 8.93 us`` at 120 kHz, the figure the paper quotes
+        for one CSI-RS symbol.
+        """
+        return self.slot_duration_s / SYMBOLS_PER_SLOT
+
+    def num_subcarriers(self, bandwidth_hz: float) -> int:
+        """How many subcarriers fit in ``bandwidth_hz``."""
+        if bandwidth_hz <= 0:
+            raise ValueError(f"bandwidth_hz must be positive, got {bandwidth_hz!r}")
+        return int(bandwidth_hz // self.subcarrier_spacing_hz)
+
+
+#: The paper's numerology: FR2, 120 kHz subcarrier spacing (mu = 3).
+FR2_120KHZ = Numerology(mu=3)

@@ -1,0 +1,155 @@
+"""OFDM channel sounding: per-subcarrier CSI with noise and CFO/SFO.
+
+The testbed reports the complex channel per subcarrier from NR reference
+signals; every mmReliable algorithm consumes those estimates.  The power
+convention keeps per-subcarrier SNR equal to the full-band SNR for a flat
+channel: transmit power and noise both split evenly across subcarriers, so
+
+    SNR(f) = P_tx |H(f)|^2 / P_noise_total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.geometric import GeometricChannel
+from repro.channel.impairments import CfoSfoModel, awgn_noise_power_watt, complex_awgn
+from repro.channel.wideband import ofdm_frequency_grid
+from repro.phy.numerology import FR2_120KHZ, Numerology
+from repro.utils import ensure_rng
+
+
+@dataclass(frozen=True)
+class OfdmConfig:
+    """Static OFDM link parameters.
+
+    Parameters
+    ----------
+    bandwidth_hz:
+        Occupied bandwidth (the paper uses 400 MHz, or 100 MHz outdoors).
+    num_subcarriers:
+        CSI grid size.  Real CSI-RS occupies a subset of subcarriers; 64 or
+        128 points is plenty to resolve the sparse channel.
+    transmit_power_watt:
+        Total radiated power (conserved across all beam shapes).
+    noise_figure_db:
+        Receiver noise figure used for the thermal noise floor.
+    """
+
+    bandwidth_hz: float = 400e6
+    num_subcarriers: int = 128
+    transmit_power_watt: float = 1.0
+    noise_figure_db: float = 7.0
+    numerology: Numerology = FR2_120KHZ
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_hz <= 0:
+            raise ValueError("bandwidth_hz must be positive")
+        if self.num_subcarriers < 1:
+            raise ValueError("num_subcarriers must be >= 1")
+        if self.transmit_power_watt <= 0:
+            raise ValueError("transmit_power_watt must be positive")
+
+    def frequency_grid(self) -> np.ndarray:
+        """Baseband subcarrier frequencies, centered on 0 Hz."""
+        return ofdm_frequency_grid(self.bandwidth_hz, self.num_subcarriers)
+
+    @property
+    def noise_power_watt(self) -> float:
+        """Full-band receiver noise power."""
+        return awgn_noise_power_watt(self.bandwidth_hz, self.noise_figure_db)
+
+    def snr_db(self, mean_channel_power: float) -> float:
+        """Link SNR [dB] for a given mean beamformed channel power."""
+        if mean_channel_power <= 0:
+            return -np.inf
+        return 10.0 * np.log10(
+            self.transmit_power_watt * mean_channel_power / self.noise_power_watt
+        )
+
+
+@dataclass(frozen=True)
+class ChannelEstimate:
+    """One sounded CSI snapshot."""
+
+    csi: np.ndarray
+    frequencies_hz: np.ndarray
+    time_s: float = 0.0
+
+    @property
+    def mean_power(self) -> float:
+        """Mean per-subcarrier power ``E[|h(f)|^2]``."""
+        return float(np.mean(np.abs(self.csi) ** 2))
+
+    def power_db(self) -> float:
+        power = self.mean_power
+        return -np.inf if power == 0 else 10.0 * np.log10(power)
+
+
+@dataclass
+class ChannelSounder:
+    """Produces noisy, CFO-rotated CSI estimates from a geometric channel.
+
+    Each :meth:`sound` call models one reference-signal probe: the true
+    beamformed frequency response plus complex AWGN (scaled so the estimate
+    error matches the link SNR) and a common-mode CFO/SFO phase rotation.
+    """
+
+    config: OfdmConfig
+    cfo_model: Optional[CfoSfoModel] = None
+    rng: object = None
+
+    def __post_init__(self) -> None:
+        self.rng = ensure_rng(self.rng)
+
+    def sound(
+        self,
+        channel: GeometricChannel,
+        tx_weights: np.ndarray,
+        rx_weights: Optional[np.ndarray] = None,
+        time_s: float = 0.0,
+    ) -> ChannelEstimate:
+        """Sound the channel through the given beams once."""
+        freqs = self.config.frequency_grid()
+        response = channel.frequency_response(tx_weights, freqs, rx_weights)
+        noise_variance = (
+            self.config.noise_power_watt / self.config.transmit_power_watt
+        )
+        noisy = response + complex_awgn(response.shape, noise_variance, self.rng)
+        if self.cfo_model is not None:
+            noisy = self.cfo_model.apply(noisy)
+        return ChannelEstimate(csi=noisy, frequencies_hz=freqs, time_s=time_s)
+
+    def sound_with_band_weights(
+        self,
+        channel: GeometricChannel,
+        weights_over_band: np.ndarray,
+        rx_weights: Optional[np.ndarray] = None,
+        time_s: float = 0.0,
+    ) -> ChannelEstimate:
+        """Sound through frequency-dependent weights (delay phased array)."""
+        freqs = self.config.frequency_grid()
+        response = channel.frequency_response_with_array_weights(
+            weights_over_band, freqs, rx_weights
+        )
+        noise_variance = (
+            self.config.noise_power_watt / self.config.transmit_power_watt
+        )
+        noisy = response + complex_awgn(response.shape, noise_variance, self.rng)
+        if self.cfo_model is not None:
+            noisy = self.cfo_model.apply(noisy)
+        return ChannelEstimate(csi=noisy, frequencies_hz=freqs, time_s=time_s)
+
+    def link_snr_db(
+        self,
+        channel: GeometricChannel,
+        tx_weights: np.ndarray,
+        rx_weights: Optional[np.ndarray] = None,
+    ) -> float:
+        """Noiseless (true) link SNR [dB] through the given beams."""
+        freqs = self.config.frequency_grid()
+        response = channel.frequency_response(tx_weights, freqs, rx_weights)
+        return self.config.snr_db(float(np.mean(np.abs(response) ** 2)))

@@ -1,0 +1,128 @@
+"""QAM constellations: mapping, demapping, and EVM.
+
+The testbed transmits 5G NR OFDM with QPSK through 256-QAM payloads
+(Section 5.2).  These helpers implement Gray-mapped square constellations
+normalized to unit average energy, hard-decision demapping, and the
+EVM <-> SNR relationship used to sanity-check link measurements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+#: Supported modulations and their bits per symbol.
+MODULATION_BITS: Dict[str, int] = {
+    "bpsk": 1,
+    "qpsk": 2,
+    "16qam": 4,
+    "64qam": 6,
+    "256qam": 8,
+}
+
+
+def _gray(n: int) -> int:
+    return n ^ (n >> 1)
+
+
+def constellation(modulation: str) -> np.ndarray:
+    """The unit-average-energy constellation, indexed by symbol label.
+
+    For square QAM, the label's high bits Gray-index the I rail and the
+    low bits the Q rail, so adjacent points differ in exactly one bit.
+    """
+    if modulation not in MODULATION_BITS:
+        known = ", ".join(sorted(MODULATION_BITS))
+        raise ValueError(
+            f"unknown modulation {modulation!r}; known: {known}"
+        )
+    bits = MODULATION_BITS[modulation]
+    if modulation == "bpsk":
+        return np.array([1.0 + 0j, -1.0 + 0j])
+    side_bits = bits // 2
+    side = 2 ** side_bits
+    # PAM levels ..., -3, -1, +1, +3, ... Gray-ordered.
+    levels = 2 * np.arange(side) - (side - 1)
+    gray_order = np.argsort([_gray(i) for i in range(side)])
+    pam = np.empty(side)
+    for index in range(side):
+        pam[_gray(index)] = levels[index]
+    points = np.empty(side * side, dtype=complex)
+    for label in range(side * side):
+        i_bits = label >> side_bits
+        q_bits = label & (side - 1)
+        points[label] = pam[i_bits] + 1j * pam[q_bits]
+    scale = np.sqrt(np.mean(np.abs(points) ** 2))
+    return points / scale
+
+
+def modulate(bits: np.ndarray, modulation: str) -> np.ndarray:
+    """Map a bit array (0/1) onto constellation symbols.
+
+    The bit count must be a multiple of the bits-per-symbol.
+    """
+    points = constellation(modulation)
+    bits_per_symbol = MODULATION_BITS[modulation]
+    bits = np.asarray(bits, dtype=int).ravel()
+    if bits.size % bits_per_symbol != 0:
+        raise ValueError(
+            f"{bits.size} bits do not divide into {bits_per_symbol}-bit "
+            "symbols"
+        )
+    if np.any((bits != 0) & (bits != 1)):
+        raise ValueError("bits must be 0 or 1")
+    groups = bits.reshape(-1, bits_per_symbol)
+    labels = groups @ (1 << np.arange(bits_per_symbol)[::-1])
+    return points[labels]
+
+
+def demodulate(symbols: np.ndarray, modulation: str) -> np.ndarray:
+    """Hard-decision demapping back to bits."""
+    points = constellation(modulation)
+    bits_per_symbol = MODULATION_BITS[modulation]
+    symbols = np.asarray(symbols, dtype=complex).ravel()
+    distances = np.abs(symbols[:, None] - points[None, :])
+    labels = np.argmin(distances, axis=1)
+    out = np.empty((symbols.size, bits_per_symbol), dtype=int)
+    for bit in range(bits_per_symbol):
+        out[:, bit] = (labels >> (bits_per_symbol - 1 - bit)) & 1
+    return out.ravel()
+
+
+def error_vector_magnitude(
+    received: np.ndarray, reference: np.ndarray
+) -> float:
+    """RMS EVM (linear) of received symbols against their references."""
+    received = np.asarray(received, dtype=complex)
+    reference = np.asarray(reference, dtype=complex)
+    if received.shape != reference.shape:
+        raise ValueError(
+            f"shapes differ: {received.shape} vs {reference.shape}"
+        )
+    reference_power = np.mean(np.abs(reference) ** 2)
+    if reference_power == 0:
+        raise ValueError("reference symbols have zero power")
+    return float(
+        np.sqrt(np.mean(np.abs(received - reference) ** 2) / reference_power)
+    )
+
+
+def evm_to_snr_db(evm: float) -> float:
+    """SNR implied by an EVM measurement: ``-20 log10(EVM)``."""
+    if evm <= 0:
+        raise ValueError(f"evm must be positive, got {evm!r}")
+    return -20.0 * np.log10(evm)
+
+
+def bit_error_rate(
+    transmitted_bits: np.ndarray, received_bits: np.ndarray
+) -> float:
+    """Fraction of bit errors between two equal-length bit arrays."""
+    tx = np.asarray(transmitted_bits, dtype=int).ravel()
+    rx = np.asarray(received_bits, dtype=int).ravel()
+    if tx.shape != rx.shape:
+        raise ValueError(f"bit counts differ: {tx.size} vs {rx.size}")
+    if tx.size == 0:
+        raise ValueError("empty bit arrays")
+    return float(np.mean(tx != rx))

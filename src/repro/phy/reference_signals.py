@@ -1,0 +1,155 @@
+"""Reference-signal scheduling and probe-overhead accounting (Fig. 18d).
+
+5G NR provides two probing mechanisms the paper leans on:
+
+* **SSB** (Synchronization Signal Block) — the beam-training probe.  One
+  SSB spans four slots (0.5 ms at 120 kHz SCS); a full sweep needs one SSB
+  per scanned direction.
+* **CSI-RS** — the beam-maintenance probe.  Schedulable per slot
+  (0.125 ms), occupying a single OFDM symbol, so maintenance costs almost
+  nothing: three CSI-RS for a 2-beam multi-beam (~0.4 ms), five for
+  3 beams (~0.6 ms), independent of array size.
+
+The overhead comparison against "vanilla 5G NR" uses the best known
+training scan, which needs on the order of ``2 log2(N)`` SSB probes for an
+``N``-antenna array (Hassanieh et al.) — 3 ms at 8 antennas rising to 6 ms
+at 64, versus mmReliable's flat 0.4-0.6 ms.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.phy.numerology import FR2_120KHZ, Numerology
+
+#: Slots occupied by one SSB (four slots, TS 38.213 beam sweep pattern).
+SSB_SLOTS = 4
+#: Slots occupied by one CSI-RS probe opportunity.
+CSI_RS_SLOTS = 1
+
+
+class ProbeKind(enum.Enum):
+    """The two NR probe types the system uses."""
+
+    SSB = "ssb"
+    CSI_RS = "csi_rs"
+
+
+def ssb_duration_s(numerology: Numerology = FR2_120KHZ) -> float:
+    """Airtime of one SSB probe [s] (0.5 ms at 120 kHz SCS)."""
+    return SSB_SLOTS * numerology.slot_duration_s
+
+
+def csi_rs_duration_s(numerology: Numerology = FR2_120KHZ) -> float:
+    """Airtime of one CSI-RS probe opportunity [s] (0.125 ms at 120 kHz)."""
+    return CSI_RS_SLOTS * numerology.slot_duration_s
+
+
+def multibeam_maintenance_probes(num_beams: int) -> int:
+    """CSI-RS probes per maintenance round for a K-beam multi-beam.
+
+    ``2 (K - 1)`` probes re-estimate the relative phase/amplitude of each
+    non-reference beam (Section 3.3) plus one probe to resolve the
+    direction-of-motion ambiguity (Section 4.2): 3 probes for 2 beams,
+    5 for 3 beams — independent of the number of antennas.
+    """
+    if num_beams < 1:
+        raise ValueError(f"num_beams must be >= 1, got {num_beams!r}")
+    if num_beams == 1:
+        return 1  # a single beam still needs its ambiguity probe
+    return 2 * (num_beams - 1) + 1
+
+
+def multibeam_maintenance_time_s(
+    num_beams: int, numerology: Numerology = FR2_120KHZ
+) -> float:
+    """Airtime of one maintenance round [s] (~0.4 ms / 0.6 ms for 2/3 beams)."""
+    return multibeam_maintenance_probes(num_beams) * csi_rs_duration_s(numerology)
+
+
+def beam_training_probes(num_antennas: int, scheme: str = "logarithmic") -> int:
+    """SSB probes needed for one beam-training sweep.
+
+    ``"exhaustive"`` scans one direction per antenna-afforded beam (N
+    probes); ``"logarithmic"`` models the best published scan at
+    ``2 ceil(log2 N)`` probes.
+    """
+    if num_antennas < 1:
+        raise ValueError(f"num_antennas must be >= 1, got {num_antennas!r}")
+    if scheme == "exhaustive":
+        return num_antennas
+    if scheme == "logarithmic":
+        return 2 * int(np.ceil(np.log2(max(num_antennas, 2))))
+    raise ValueError(
+        f"scheme must be 'exhaustive' or 'logarithmic', got {scheme!r}"
+    )
+
+
+def beam_training_time_s(
+    num_antennas: int,
+    scheme: str = "logarithmic",
+    numerology: Numerology = FR2_120KHZ,
+) -> float:
+    """Airtime of one beam-training sweep [s]."""
+    return beam_training_probes(num_antennas, scheme) * ssb_duration_s(numerology)
+
+
+def maintenance_overhead_fraction(
+    num_beams: int,
+    maintenance_period_s: float = 20e-3,
+    numerology: Numerology = FR2_120KHZ,
+) -> float:
+    """Fraction of airtime spent on maintenance probes.
+
+    One CSI-RS *symbol* per probe actually occupies the channel (the rest
+    of the slot still carries data), so the airtime cost uses the symbol
+    duration — the paper's "<0.04% with one CSI-RS every 20 ms".
+    """
+    if maintenance_period_s <= 0:
+        raise ValueError("maintenance_period_s must be positive")
+    symbols = multibeam_maintenance_probes(num_beams)
+    return symbols * numerology.symbol_duration_s / maintenance_period_s
+
+
+@dataclass
+class ProbeBudget:
+    """Running account of probe airtime consumed by a beam manager.
+
+    The simulator charges every probe here; reliability metrics then count
+    probing airtime as link-unavailable time, which is exactly how the
+    paper defines reliability (Section 3.1).
+    """
+
+    numerology: Numerology = FR2_120KHZ
+    counts: Dict[ProbeKind, int] = field(default_factory=dict)
+    log: List[Tuple[float, ProbeKind]] = field(default_factory=list)
+
+    def charge(self, kind: ProbeKind, time_s: float = 0.0, count: int = 1) -> None:
+        """Record ``count`` probes of ``kind`` at simulation time ``time_s``."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count!r}")
+        self.counts[kind] = self.counts.get(kind, 0) + count
+        self.log.extend((time_s, kind) for _ in range(count))
+
+    def total_probes(self, kind: ProbeKind = None) -> int:
+        if kind is not None:
+            return self.counts.get(kind, 0)
+        return sum(self.counts.values())
+
+    def airtime_s(self) -> float:
+        """Total channel airtime consumed by all charged probes."""
+        return self.counts.get(ProbeKind.SSB, 0) * ssb_duration_s(
+            self.numerology
+        ) + self.counts.get(ProbeKind.CSI_RS, 0) * csi_rs_duration_s(
+            self.numerology
+        )
+
+    def overhead_fraction(self, observation_s: float) -> float:
+        """Probing airtime as a fraction of the observation interval."""
+        if observation_s <= 0:
+            raise ValueError("observation_s must be positive")
+        return min(self.airtime_s() / observation_s, 1.0)

@@ -1,0 +1,88 @@
+"""Export simulation traces for downstream analysis.
+
+Users typically want to plot SNR/throughput time series or collect
+ensembles into a table; these helpers write plain CSV (no pandas
+dependency) in stable column orders.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, TextIO
+
+from repro.phy.mcs import OUTAGE_SNR_DB, spectral_efficiency
+from repro.sim.link import SimulationTrace
+from repro.sim.metrics import LinkMetrics
+
+TRACE_COLUMNS = ("time_s", "snr_db", "spectral_efficiency", "in_outage")
+METRICS_COLUMNS = (
+    "label",
+    "reliability",
+    "mean_throughput_bps",
+    "mean_spectral_efficiency",
+    "mean_snr_db",
+    "product",
+    "training_rounds",
+    "probe_airtime_s",
+)
+
+
+def write_trace_csv(trace: SimulationTrace, stream: TextIO) -> int:
+    """Write one trace's time series as CSV; returns rows written."""
+    writer = csv.writer(stream)
+    writer.writerow(TRACE_COLUMNS)
+    count = 0
+    for time_s, snr_db in zip(trace.times_s, trace.snr_db):
+        writer.writerow(
+            [
+                f"{time_s:.6f}",
+                f"{snr_db:.4f}",
+                f"{spectral_efficiency(float(snr_db)):.4f}",
+                int(snr_db < OUTAGE_SNR_DB),
+            ]
+        )
+        count += 1
+    return count
+
+
+def trace_to_csv(trace: SimulationTrace) -> str:
+    """The trace's time series as a CSV string."""
+    buffer = io.StringIO()
+    write_trace_csv(trace, buffer)
+    return buffer.getvalue()
+
+
+def write_metrics_csv(
+    rows: Iterable[tuple], stream: TextIO
+) -> int:
+    """Write ``(label, LinkMetrics)`` pairs as a CSV table."""
+    writer = csv.writer(stream)
+    writer.writerow(METRICS_COLUMNS)
+    count = 0
+    for label, metrics in rows:
+        if not isinstance(metrics, LinkMetrics):
+            raise TypeError(
+                f"expected LinkMetrics for {label!r}, got {type(metrics)!r}"
+            )
+        writer.writerow(
+            [
+                label,
+                f"{metrics.reliability:.6f}",
+                f"{metrics.mean_throughput_bps:.1f}",
+                f"{metrics.mean_spectral_efficiency:.4f}",
+                f"{metrics.mean_snr_db:.4f}",
+                f"{metrics.product:.1f}",
+                metrics.training_rounds,
+                f"{metrics.probe_airtime_s:.6f}",
+            ]
+        )
+        count += 1
+    return count
+
+
+def metrics_to_csv(rows: Iterable[tuple]) -> str:
+    """``(label, LinkMetrics)`` pairs as a CSV string."""
+    buffer = io.StringIO()
+    write_metrics_csv(rows, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,33 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the simulator (noise, blockage arrivals,
+environment generation) accepts an ``rng`` argument that may be ``None``,
+an integer seed, or an existing :class:`numpy.random.Generator`.  Funnelling
+them all through :func:`ensure_rng` keeps experiments reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a :class:`numpy.random.Generator`.
+
+    * ``None`` -> a freshly seeded generator (non-deterministic),
+    * ``int`` -> ``np.random.default_rng(seed)``,
+    * ``Generator`` -> returned unchanged.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    if isinstance(rng, np.random.Generator):
+        return rng
+    raise TypeError(
+        f"rng must be None, an int seed, or a numpy Generator, got {type(rng)!r}"
+    )

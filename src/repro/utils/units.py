@@ -1,0 +1,67 @@
+"""Unit conversions for RF quantities.
+
+Conventions used throughout the project:
+
+* *Amplitude* quantities (field strength, channel gain magnitude ``|h|``)
+  convert with the 20·log10 rule — :func:`db_to_linear` /
+  :func:`linear_to_db`.
+* *Power* quantities (SNR, radiated power) convert with the 10·log10 rule —
+  :func:`power_db_to_linear` / :func:`power_linear_to_db`.
+
+Keeping the two rules in separately-named functions avoids the single most
+common class of bug in link-budget code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Speed of light in vacuum [m/s].
+SPEED_OF_LIGHT = 299_792_458.0
+
+
+def db_to_linear(value_db):
+    """Convert an amplitude ratio from dB to linear (20·log10 rule).
+
+    ``db_to_linear(6.02) ≈ 2.0`` — a 6 dB amplitude ratio doubles the field.
+    Accepts scalars or NumPy arrays.
+    """
+    return 10.0 ** (np.asarray(value_db, dtype=float) / 20.0)
+
+
+def linear_to_db(value):
+    """Convert an amplitude ratio from linear to dB (20·log10 rule)."""
+    return 20.0 * np.log10(np.asarray(value, dtype=float))
+
+
+def power_db_to_linear(value_db):
+    """Convert a power ratio from dB to linear (10·log10 rule)."""
+    return 10.0 ** (np.asarray(value_db, dtype=float) / 10.0)
+
+
+def power_linear_to_db(value):
+    """Convert a power ratio from linear to dB (10·log10 rule)."""
+    return 10.0 * np.log10(np.asarray(value, dtype=float))
+
+
+def dbm_to_watt(value_dbm):
+    """Convert power from dBm to watts. ``dbm_to_watt(30) == 1.0``."""
+    return 10.0 ** ((np.asarray(value_dbm, dtype=float) - 30.0) / 10.0)
+
+
+def watt_to_dbm(value_watt):
+    """Convert power from watts to dBm. ``watt_to_dbm(1.0) == 30.0``."""
+    return 10.0 * np.log10(np.asarray(value_watt, dtype=float)) + 30.0
+
+
+def wavelength(carrier_frequency_hz: float) -> float:
+    """Free-space wavelength [m] of a carrier frequency [Hz].
+
+    >>> round(wavelength(28e9) * 1000, 2)  # 28 GHz -> ~10.71 mm
+    10.71
+    """
+    if carrier_frequency_hz <= 0:
+        raise ValueError(
+            f"carrier frequency must be positive, got {carrier_frequency_hz!r}"
+        )
+    return SPEED_OF_LIGHT / carrier_frequency_hz

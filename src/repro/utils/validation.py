@@ -1,0 +1,34 @@
+"""Argument validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_positive(name: str, value) -> None:
+    """Raise :class:`ValueError` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_in_range(name: str, value, low, high, inclusive: bool = True) -> None:
+    """Raise :class:`ValueError` unless ``low <= value <= high``.
+
+    With ``inclusive=False``, the bounds are exclusive.
+    """
+    if inclusive:
+        ok = low <= value <= high
+        bounds = f"[{low}, {high}]"
+    else:
+        ok = low < value < high
+        bounds = f"({low}, {high})"
+    if not ok:
+        raise ValueError(f"{name} must be in {bounds}, got {value!r}")
+
+
+def check_array_1d(name: str, array) -> np.ndarray:
+    """Coerce to a 1-D NumPy array, raising on higher-rank input."""
+    array = np.asarray(array)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {array.shape}")
+    return array

@@ -1,0 +1,86 @@
+"""Tests for the link-budget analysis module."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import LinkBudget, max_range_m
+from repro.arrays import UniformLinearArray, single_beam_weights
+from repro.phy.mcs import OUTAGE_SNR_DB
+from repro.phy.ofdm import ChannelSounder, OfdmConfig
+from repro.sim.scenarios import two_path_channel
+
+
+class TestLinkBudget:
+    def test_snr_monotone_in_distance(self):
+        budget = LinkBudget()
+        distances = np.array([5.0, 10.0, 20.0, 40.0, 80.0])
+        snrs = [budget.snr_db(d) for d in distances]
+        assert np.all(np.diff(snrs) < 0)
+
+    def test_matches_simulated_scenario(self):
+        # The budget arithmetic must agree with the simulator's SNR for
+        # the canonical 7 m indoor single-beam link (within ~1 dB; the
+        # simulator's beam response is not exactly the peak gain).
+        budget = LinkBudget()
+        array = UniformLinearArray(num_elements=8)
+        channel = two_path_channel(array, delta_db=-30.0, distance_m=7.0)
+        sounder = ChannelSounder(
+            config=OfdmConfig(bandwidth_hz=400e6, num_subcarriers=64),
+            rng=0,
+        )
+        simulated = sounder.link_snr_db(
+            channel, single_beam_weights(array, 0.0)
+        )
+        assert budget.snr_db(7.0) == pytest.approx(simulated, abs=1.5)
+
+    def test_60ghz_worse_than_28ghz(self):
+        a = LinkBudget(carrier_frequency_hz=28e9)
+        b = LinkBudget(carrier_frequency_hz=60e9)
+        assert b.snr_db(50.0) < a.snr_db(50.0) - 5.0
+
+    def test_margin_sign(self):
+        budget = LinkBudget()
+        assert budget.margin_db(7.0) > 0
+        assert budget.margin_db(5000.0) < 0
+
+    def test_mcs_degrades_with_distance(self):
+        budget = LinkBudget()
+        near = budget.mcs_at(7.0)
+        far = budget.mcs_at(60.0)
+        assert near is not None and far is not None
+        assert near.index > far.index
+        assert budget.spectral_efficiency_at(7.0) > budget.spectral_efficiency_at(60.0)
+
+    def test_outage_far_away(self):
+        budget = LinkBudget()
+        assert budget.mcs_at(5000.0) is None
+        assert budget.spectral_efficiency_at(5000.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkBudget(carrier_frequency_hz=0.0)
+        with pytest.raises(ValueError):
+            LinkBudget(bandwidth_hz=-1.0)
+
+
+class TestMaxRange:
+    def test_range_at_threshold(self):
+        budget = LinkBudget()
+        edge = max_range_m(budget)
+        assert budget.snr_db(edge) == pytest.approx(OUTAGE_SNR_DB, abs=1e-6)
+
+    def test_higher_target_shrinks_range(self):
+        budget = LinkBudget()
+        assert max_range_m(budget, target_snr_db=20.0) < max_range_m(
+            budget, target_snr_db=OUTAGE_SNR_DB
+        )
+
+    def test_more_gain_extends_range(self):
+        small = LinkBudget(tx_gain_db=9.0)
+        large = LinkBudget(tx_gain_db=18.0)  # 64-element array
+        assert max_range_m(large) > max_range_m(small)
+
+    def test_unreachable_target_raises(self):
+        budget = LinkBudget(transmit_power_dbm=-100.0)
+        with pytest.raises(ValueError, match="even at 1 m"):
+            max_range_m(budget)

@@ -1,0 +1,80 @@
+"""Tests for beam codebooks."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import Codebook, UniformLinearArray, uniform_codebook
+from repro.arrays.codebook import angles_to_codebook
+
+
+@pytest.fixture
+def array():
+    return UniformLinearArray(num_elements=8)
+
+
+class TestUniformCodebook:
+    def test_size(self, array):
+        codebook = uniform_codebook(array, 32)
+        assert len(codebook) == 32
+
+    def test_spans_field_of_view(self, array):
+        fov = np.deg2rad(120.0)
+        codebook = uniform_codebook(array, 16, fov)
+        assert codebook.angles_rad[0] == pytest.approx(-fov / 2)
+        assert codebook.angles_rad[-1] == pytest.approx(fov / 2)
+
+    def test_entries_unit_norm(self, array):
+        codebook = uniform_codebook(array, 8)
+        for _angle, weights in codebook:
+            assert np.linalg.norm(weights.vector) == pytest.approx(1.0)
+
+    def test_rejects_zero_beams(self, array):
+        with pytest.raises(ValueError):
+            uniform_codebook(array, 0)
+
+    def test_rejects_bad_fov(self, array):
+        with pytest.raises(ValueError):
+            uniform_codebook(array, 8, field_of_view_rad=4.0)
+
+
+class TestCodebookLookup:
+    def test_nearest_index(self, array):
+        codebook = uniform_codebook(array, 33, np.deg2rad(120.0))
+        target = np.deg2rad(31.0)
+        index = codebook.nearest_index(target)
+        spacing = np.deg2rad(120.0) / 32
+        assert abs(codebook.angles_rad[index] - target) <= spacing / 2 + 1e-12
+
+    def test_weights_for_matches_nearest(self, array):
+        codebook = uniform_codebook(array, 16)
+        target = 0.123
+        weights = codebook.weights_for(target)
+        index = codebook.nearest_index(target)
+        assert weights is codebook.entries[index]
+
+    def test_getitem(self, array):
+        codebook = uniform_codebook(array, 4)
+        angle, weights = codebook[1]
+        assert angle == pytest.approx(codebook.angles_rad[1])
+
+    def test_immutable_angles(self, array):
+        codebook = uniform_codebook(array, 4)
+        with pytest.raises(ValueError):
+            codebook.angles_rad[0] = 0.0
+
+
+class TestAnglesToCodebook:
+    def test_exact_angles(self, array):
+        angles = [0.0, 0.3, -0.5]
+        codebook = angles_to_codebook(array, angles)
+        assert codebook.angles_rad == pytest.approx(angles)
+        assert len(codebook) == 3
+
+    def test_mismatched_entries_rejected(self, array):
+        codebook = uniform_codebook(array, 4)
+        with pytest.raises(ValueError):
+            Codebook(
+                array=array,
+                angles_rad=np.zeros(3),
+                entries=codebook.entries,
+            )

@@ -1,0 +1,106 @@
+"""Tests for the delay phased array (Section 3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import DelayPhasedArray, SubArray, UniformLinearArray
+
+
+@pytest.fixture
+def array():
+    return UniformLinearArray(num_elements=8)
+
+
+class TestConstruction:
+    def test_split_uniform(self, array):
+        dpa = DelayPhasedArray.split_uniform(array, [0.0, 0.5])
+        assert len(dpa.subarrays) == 2
+        assert dpa.subarrays[0].element_slice == (0, 4)
+        assert dpa.subarrays[1].element_slice == (4, 8)
+
+    def test_uneven_split_rejected(self, array):
+        with pytest.raises(ValueError, match="split evenly"):
+            DelayPhasedArray.split_uniform(array, [0.0, 0.3, 0.6])
+
+    def test_overlapping_subarrays_rejected(self, array):
+        with pytest.raises(ValueError, match="overlap"):
+            DelayPhasedArray(
+                array=array,
+                subarrays=(
+                    SubArray(element_slice=(0, 5), steer_angle_rad=0.0),
+                    SubArray(element_slice=(4, 8), steer_angle_rad=0.5),
+                ),
+            )
+
+    def test_out_of_range_slice_rejected(self, array):
+        with pytest.raises(ValueError, match="outside"):
+            DelayPhasedArray(
+                array=array,
+                subarrays=(SubArray(element_slice=(0, 9), steer_angle_rad=0.0),),
+            )
+
+    def test_with_delays(self, array):
+        dpa = DelayPhasedArray.split_uniform(array, [0.0, 0.5])
+        updated = dpa.with_delays([1e-9, 0.0])
+        assert updated.subarrays[0].delay_s == pytest.approx(1e-9)
+        assert updated.subarrays[1].delay_s == 0.0
+
+    def test_with_delays_wrong_length(self, array):
+        dpa = DelayPhasedArray.split_uniform(array, [0.0, 0.5])
+        with pytest.raises(ValueError):
+            dpa.with_delays([1e-9])
+
+
+class TestWeights:
+    def test_unit_norm_at_all_frequencies(self, array):
+        dpa = DelayPhasedArray.split_uniform(
+            array, [0.0, 0.5], delays_s=[2e-9, 0.0]
+        )
+        for freq in (-200e6, 0.0, 123e6):
+            w = dpa.weights_at(freq)
+            assert np.linalg.norm(w) == pytest.approx(1.0)
+
+    def test_zero_delay_frequency_independent(self, array):
+        dpa = DelayPhasedArray.split_uniform(array, [0.0, 0.5])
+        w0 = dpa.weights_at(0.0)
+        w1 = dpa.weights_at(100e6)
+        assert w0 == pytest.approx(w1)
+
+    def test_delay_adds_linear_phase(self, array):
+        delay = 3e-9
+        dpa = DelayPhasedArray.split_uniform(
+            array, [0.0, 0.5], delays_s=[delay, 0.0]
+        )
+        freq = 50e6
+        w0 = dpa.weights_at(0.0)
+        wf = dpa.weights_at(freq)
+        expected = np.exp(-2j * np.pi * freq * delay)
+        # First sub-array rotates by the delay phase; second is unchanged.
+        assert wf[:4] / w0[:4] == pytest.approx(np.full(4, expected))
+        assert wf[4:] / w0[4:] == pytest.approx(np.ones(4))
+
+    def test_weights_over_band_shape(self, array):
+        dpa = DelayPhasedArray.split_uniform(array, [0.0, 0.5])
+        freqs = np.linspace(-200e6, 200e6, 11)
+        stacked = dpa.weights_over_band(freqs)
+        assert stacked.shape == (11, 8)
+
+    def test_all_zero_gains_rejected(self, array):
+        dpa = DelayPhasedArray.split_uniform(
+            array, [0.0, 0.5], gains=[0.0, 0.0]
+        )
+        with pytest.raises(ValueError, match="zero"):
+            dpa.weights_at(0.0)
+
+    def test_subarray_points_at_its_angle(self, array):
+        from repro.arrays.steering import steering_vector
+
+        angle = np.deg2rad(20.0)
+        dpa = DelayPhasedArray.split_uniform(array, [angle, -angle])
+        w = dpa.weights_at(0.0)
+        # The first sub-array's response toward its own angle should be
+        # coherent: |sum over its elements of a(angle) * w| = 4 / norm.
+        a = steering_vector(array, angle)
+        response = abs(np.dot(a[:4], w[:4]))
+        # 4 coherent elements, each at amplitude 1/sqrt(8): 4/sqrt(8) = sqrt(2).
+        assert response == pytest.approx(np.sqrt(2.0))

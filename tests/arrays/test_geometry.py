@@ -1,0 +1,75 @@
+"""Tests for array geometries."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import UniformLinearArray, UniformPlanarArray
+from repro.arrays.geometry import TESTBED_ARRAY
+
+
+class TestUniformLinearArray:
+    def test_wavelength_at_28ghz(self):
+        array = UniformLinearArray(num_elements=8)
+        assert array.wavelength == pytest.approx(0.0107, abs=1e-4)
+
+    def test_half_wavelength_spacing(self):
+        array = UniformLinearArray(num_elements=8)
+        assert array.element_spacing == pytest.approx(array.wavelength / 2.0)
+
+    def test_element_positions(self):
+        array = UniformLinearArray(num_elements=4)
+        positions = array.element_positions()
+        assert positions.shape == (4,)
+        assert positions[0] == 0.0
+        assert np.diff(positions) == pytest.approx(
+            [array.element_spacing] * 3
+        )
+
+    def test_aperture(self):
+        array = UniformLinearArray(num_elements=8)
+        assert array.aperture == pytest.approx(7 * array.element_spacing)
+
+    def test_max_gain(self):
+        array = UniformLinearArray(num_elements=8)
+        assert array.max_gain_dbi() == pytest.approx(10 * np.log10(8))
+
+    def test_rejects_zero_elements(self):
+        with pytest.raises(ValueError):
+            UniformLinearArray(num_elements=0)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            UniformLinearArray(num_elements=8, carrier_frequency_hz=-1.0)
+
+    def test_frozen(self):
+        array = UniformLinearArray(num_elements=8)
+        with pytest.raises(Exception):
+            array.num_elements = 16
+
+
+class TestUniformPlanarArray:
+    def test_total_elements(self):
+        array = UniformPlanarArray(num_azimuth=8, num_elevation=8)
+        assert array.num_elements == 64
+
+    def test_azimuth_ula_matches(self):
+        planar = UniformPlanarArray(num_azimuth=8, num_elevation=4)
+        ula = planar.azimuth_ula()
+        assert ula.num_elements == 8
+        assert ula.carrier_frequency_hz == planar.carrier_frequency_hz
+
+    def test_elevation_gain(self):
+        planar = UniformPlanarArray(num_azimuth=8, num_elevation=8)
+        assert planar.elevation_gain_db() == pytest.approx(10 * np.log10(8))
+
+    def test_max_gain_combines_dimensions(self):
+        planar = UniformPlanarArray(num_azimuth=8, num_elevation=8)
+        assert planar.max_gain_dbi() == pytest.approx(10 * np.log10(64))
+
+    def test_testbed_array_is_8x8(self):
+        assert TESTBED_ARRAY.num_elements == 64
+        assert TESTBED_ARRAY.carrier_frequency_hz == 28e9
+
+    def test_rejects_zero_dimension(self):
+        with pytest.raises(ValueError):
+            UniformPlanarArray(num_azimuth=0, num_elevation=8)

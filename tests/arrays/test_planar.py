@@ -1,0 +1,119 @@
+"""Tests for full 2-D planar-array beamforming."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import UniformPlanarArray
+from repro.arrays.planar import (
+    elevation_cut_pattern_db,
+    planar_beamforming_gain,
+    planar_constructive_multibeam,
+    planar_single_beam_weights,
+    planar_steering_vector,
+)
+
+ARRAY = UniformPlanarArray(num_azimuth=8, num_elevation=8)
+
+
+class TestPlanarSteering:
+    def test_broadside_all_ones(self):
+        a = planar_steering_vector(ARRAY, 0.0, 0.0)
+        assert a == pytest.approx(np.ones(64))
+
+    def test_unit_magnitude(self):
+        a = planar_steering_vector(ARRAY, 0.4, -0.2)
+        assert np.abs(a) == pytest.approx(np.ones(64))
+
+    def test_zero_elevation_matches_ula(self):
+        from repro.arrays.steering import steering_vector
+
+        azimuth = np.deg2rad(25.0)
+        planar = planar_steering_vector(ARRAY, azimuth, 0.0)
+        ula = steering_vector(ARRAY.azimuth_ula(), azimuth)
+        # At zero elevation every elevation row repeats the azimuth ULA.
+        grid = planar.reshape(8, 8)
+        for row in grid:
+            assert row == pytest.approx(ula)
+
+    def test_elevation_phase_progression(self):
+        elevation = np.deg2rad(20.0)
+        a = planar_steering_vector(ARRAY, 0.0, elevation).reshape(8, 8)
+        expected_step = -2 * np.pi * 0.5 * np.sin(elevation)
+        steps = np.angle(a[1:, 0] / a[:-1, 0])
+        assert steps == pytest.approx(np.full(7, expected_step))
+
+
+class TestPlanarSingleBeam:
+    def test_unit_norm(self):
+        w = planar_single_beam_weights(ARRAY, 0.3, -0.1)
+        assert np.linalg.norm(w) == pytest.approx(1.0)
+
+    def test_full_gain_on_target(self):
+        azimuth, elevation = np.deg2rad(20.0), np.deg2rad(-15.0)
+        w = planar_single_beam_weights(ARRAY, azimuth, elevation)
+        gain = planar_beamforming_gain(ARRAY, w, azimuth, elevation)
+        assert abs(gain) == pytest.approx(np.sqrt(64))
+
+    def test_2d_selectivity(self):
+        # A beam at (20, 0) rejects a direction at the same azimuth but
+        # 25 degrees up.
+        azimuth = np.deg2rad(20.0)
+        w = planar_single_beam_weights(ARRAY, azimuth, 0.0)
+        on_target = abs(planar_beamforming_gain(ARRAY, w, azimuth, 0.0))
+        off_elevation = abs(
+            planar_beamforming_gain(ARRAY, w, azimuth, np.deg2rad(25.0))
+        )
+        assert off_elevation < 0.3 * on_target
+
+
+class TestPlanarMultibeam:
+    def test_unit_norm(self):
+        w = planar_constructive_multibeam(
+            ARRAY,
+            [(0.0, 0.0), (np.deg2rad(30.0), np.deg2rad(15.0))],
+            [1.0, 0.5j],
+        )
+        assert np.linalg.norm(w) == pytest.approx(1.0)
+
+    def test_combines_elevated_reflector(self):
+        """A ceiling bounce (elevated path) combines constructively."""
+        los = (0.0, 0.0)
+        ceiling = (np.deg2rad(10.0), np.deg2rad(30.0))
+        delta = 0.6 * np.exp(1j * 1.1)
+        multibeam = planar_constructive_multibeam(
+            ARRAY, [los, ceiling], [1.0, delta]
+        )
+        single = planar_single_beam_weights(ARRAY, *los)
+
+        def received(weights):
+            return abs(
+                planar_beamforming_gain(ARRAY, weights, *los)
+                + delta * planar_beamforming_gain(ARRAY, weights, *ceiling)
+            ) ** 2
+
+        gain_db = 10 * np.log10(received(multibeam) / received(single))
+        expected = 10 * np.log10(1 + abs(delta) ** 2)
+        assert gain_db == pytest.approx(expected, abs=0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            planar_constructive_multibeam(ARRAY, [], [])
+        with pytest.raises(ValueError):
+            planar_constructive_multibeam(ARRAY, [(0.0, 0.0)], [1.0, 2.0])
+
+
+class TestElevationCut:
+    def test_peak_at_steered_elevation(self):
+        elevation = np.deg2rad(20.0)
+        w = planar_single_beam_weights(ARRAY, 0.0, elevation)
+        cut = np.deg2rad(np.linspace(-60, 60, 241))
+        pattern = elevation_cut_pattern_db(ARRAY, w, cut)
+        peak = cut[np.argmax(pattern)]
+        assert peak == pytest.approx(elevation, abs=np.deg2rad(1.0))
+
+    def test_floor(self):
+        w = planar_single_beam_weights(ARRAY, 0.0, 0.0)
+        pattern = elevation_cut_pattern_db(
+            ARRAY, w, np.array([np.deg2rad(14.5)]), floor_db=-50.0
+        )
+        assert pattern[0] >= -50.0

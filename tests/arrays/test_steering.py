@@ -1,0 +1,76 @@
+"""Tests for steering vectors and single-beam weights."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import UniformLinearArray, single_beam_weights, steering_vector
+from repro.arrays.steering import beamforming_gain
+
+
+@pytest.fixture
+def array():
+    return UniformLinearArray(num_elements=8)
+
+
+class TestSteeringVector:
+    def test_broadside_is_all_ones(self, array):
+        a = steering_vector(array, 0.0)
+        assert a == pytest.approx(np.ones(8))
+
+    def test_unit_magnitude_elements(self, array):
+        a = steering_vector(array, 0.7)
+        assert np.abs(a) == pytest.approx(np.ones(8))
+
+    def test_phase_progression(self, array):
+        angle = np.deg2rad(30.0)
+        a = steering_vector(array, angle)
+        expected_step = -2 * np.pi * 0.5 * np.sin(angle)
+        steps = np.angle(a[1:] / a[:-1])
+        assert steps == pytest.approx([expected_step] * 7)
+
+    def test_vectorized_shape(self, array):
+        angles = np.linspace(-1, 1, 11)
+        a = steering_vector(array, angles)
+        assert a.shape == (11, 8)
+
+    def test_symmetric_angles_conjugate(self, array):
+        a_plus = steering_vector(array, 0.4)
+        a_minus = steering_vector(array, -0.4)
+        assert a_minus == pytest.approx(np.conj(a_plus))
+
+
+class TestSingleBeamWeights:
+    def test_unit_norm(self, array):
+        w = single_beam_weights(array, np.deg2rad(25.0))
+        assert np.linalg.norm(w) == pytest.approx(1.0)
+
+    def test_full_array_gain_toward_steered_angle(self, array):
+        angle = np.deg2rad(-15.0)
+        w = single_beam_weights(array, angle)
+        gain = beamforming_gain(array, w, angle)
+        # Coherent combining: |a^T w| = sqrt(N).
+        assert abs(gain) == pytest.approx(np.sqrt(8))
+
+    def test_attenuates_off_beam_direction(self, array):
+        w = single_beam_weights(array, 0.0)
+        off = beamforming_gain(array, w, np.deg2rad(40.0))
+        assert abs(off) < 0.3 * np.sqrt(8)
+
+    def test_matches_conjugate_of_steering(self, array):
+        angle = 0.3
+        w = single_beam_weights(array, angle)
+        a = steering_vector(array, angle)
+        assert w == pytest.approx(np.conj(a) / np.sqrt(8))
+
+
+class TestBeamformingGain:
+    def test_single_element_array_is_isotropic(self):
+        array = UniformLinearArray(num_elements=1)
+        w = single_beam_weights(array, 0.0)
+        for angle in np.linspace(-1.5, 1.5, 7):
+            assert abs(beamforming_gain(array, w, angle)) == pytest.approx(1.0)
+
+    def test_gain_is_complex(self, array):
+        w = single_beam_weights(array, 0.0)
+        gain = beamforming_gain(array, w, 0.2)
+        assert isinstance(gain, complex)

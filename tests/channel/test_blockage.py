@@ -1,0 +1,176 @@
+"""Tests for blockage processes."""
+
+import numpy as np
+import pytest
+
+from repro.channel.blockage import (
+    BlockageEvent,
+    BlockageSchedule,
+    EMPTY_SCHEDULE,
+    HumanBlocker,
+    random_blockage_schedule,
+)
+
+
+class TestBlockageEvent:
+    def test_zero_outside_window(self):
+        event = BlockageEvent(path_index=0, start_s=0.2, duration_s=0.1)
+        assert event.attenuation_db(0.1) == 0.0
+        assert event.attenuation_db(0.35) == 0.0
+
+    def test_full_depth_in_hold(self):
+        event = BlockageEvent(
+            path_index=0, start_s=0.2, duration_s=0.1, depth_db=26.0,
+            ramp_s=1e-3,
+        )
+        assert event.attenuation_db(0.25) == pytest.approx(26.0)
+
+    def test_ramp_is_linear(self):
+        event = BlockageEvent(
+            path_index=0, start_s=0.0, duration_s=0.1, depth_db=20.0,
+            ramp_s=10e-3,
+        )
+        assert event.attenuation_db(5e-3) == pytest.approx(10.0)
+
+    def test_release_ramp(self):
+        event = BlockageEvent(
+            path_index=0, start_s=0.0, duration_s=0.1, depth_db=20.0,
+            ramp_s=10e-3,
+        )
+        assert event.attenuation_db(0.1 - 5e-3) == pytest.approx(10.0)
+
+    def test_zero_ramp_is_square(self):
+        event = BlockageEvent(
+            path_index=0, start_s=0.0, duration_s=0.1, depth_db=20.0, ramp_s=0.0
+        )
+        assert event.attenuation_db(1e-6) == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockageEvent(path_index=-1, start_s=0.0, duration_s=0.1)
+        with pytest.raises(ValueError):
+            BlockageEvent(path_index=0, start_s=0.0, duration_s=0.0)
+        with pytest.raises(ValueError):
+            BlockageEvent(path_index=0, start_s=0.0, duration_s=0.1, depth_db=-1)
+
+
+class TestBlockageSchedule:
+    def test_empty_schedule_no_attenuation(self):
+        assert EMPTY_SCHEDULE.amplitude_factors(0.5, 3) == pytest.approx(
+            np.ones(3)
+        )
+
+    def test_per_path_routing(self):
+        schedule = BlockageSchedule(
+            events=(
+                BlockageEvent(path_index=1, start_s=0.0, duration_s=1.0,
+                              depth_db=20.0, ramp_s=0.0),
+            )
+        )
+        attenuation = schedule.attenuation_db(0.5, 3)
+        assert attenuation == pytest.approx([0.0, 20.0, 0.0])
+
+    def test_overlapping_events_stack(self):
+        event = BlockageEvent(path_index=0, start_s=0.0, duration_s=1.0,
+                              depth_db=10.0, ramp_s=0.0)
+        schedule = BlockageSchedule(events=(event, event))
+        assert schedule.attenuation_db(0.5, 1)[0] == pytest.approx(20.0)
+
+    def test_event_beyond_path_count_ignored(self):
+        schedule = BlockageSchedule(
+            events=(
+                BlockageEvent(path_index=5, start_s=0.0, duration_s=1.0),
+            )
+        )
+        assert schedule.attenuation_db(0.5, 2) == pytest.approx([0.0, 0.0])
+
+    def test_amplitude_factor_conversion(self):
+        schedule = BlockageSchedule(
+            events=(
+                BlockageEvent(path_index=0, start_s=0.0, duration_s=1.0,
+                              depth_db=20.0, ramp_s=0.0),
+            )
+        )
+        assert schedule.amplitude_factors(0.5, 1)[0] == pytest.approx(0.1)
+
+    def test_blocks_everything(self):
+        events = tuple(
+            BlockageEvent(path_index=k, start_s=0.0, duration_s=1.0,
+                          depth_db=30.0, ramp_s=0.0)
+            for k in range(2)
+        )
+        schedule = BlockageSchedule(events=events)
+        assert schedule.blocks_everything(0.5, 2)
+        assert not schedule.blocks_everything(0.5, 3)
+
+    def test_merged(self):
+        a = BlockageSchedule(
+            events=(BlockageEvent(path_index=0, start_s=0.0, duration_s=0.1),)
+        )
+        b = BlockageSchedule(
+            events=(BlockageEvent(path_index=1, start_s=0.5, duration_s=0.1),)
+        )
+        assert len(a.merged(b)) == 2
+
+
+class TestHumanBlocker:
+    def test_crossing_order_follows_geometry(self):
+        # Walker moves left to right: hits the -20 deg beam before +20 deg.
+        blocker = HumanBlocker(distance_from_tx_m=3.0, speed_mps=1.0,
+                               lateral_start_m=-3.0)
+        schedule = blocker.crossing_schedule(
+            [np.deg2rad(-20.0), np.deg2rad(20.0)]
+        )
+        starts = {e.path_index: e.start_s for e in schedule.events}
+        assert starts[0] < starts[1]
+
+    def test_occlusion_duration(self):
+        blocker = HumanBlocker(
+            distance_from_tx_m=3.0, speed_mps=2.0, body_width_m=0.4,
+            lateral_start_m=-3.0,
+        )
+        schedule = blocker.crossing_schedule([0.0])
+        assert schedule.events[0].duration_s == pytest.approx(0.2)
+
+    def test_beams_behind_start_skipped(self):
+        blocker = HumanBlocker(distance_from_tx_m=3.0, speed_mps=1.0,
+                               lateral_start_m=0.5)
+        schedule = blocker.crossing_schedule([np.deg2rad(-30.0)])
+        assert len(schedule) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HumanBlocker(distance_from_tx_m=0.0)
+        with pytest.raises(ValueError):
+            HumanBlocker(distance_from_tx_m=1.0, speed_mps=0.0)
+
+
+class TestRandomSchedule:
+    def test_events_fit_window(self):
+        schedule = random_blockage_schedule(
+            num_paths=2, observation_s=1.0, num_events=5, rng=3
+        )
+        for event in schedule.events:
+            assert 0.0 <= event.start_s
+            assert event.end_s <= 1.0
+            assert 0.1 <= event.duration_s <= 0.5
+
+    def test_block_strongest_only(self):
+        schedule = random_blockage_schedule(
+            num_paths=3, num_events=10, block_strongest_only=True, rng=4
+        )
+        assert all(e.path_index == 0 for e in schedule.events)
+
+    def test_deterministic(self):
+        a = random_blockage_schedule(num_paths=2, rng=9)
+        b = random_blockage_schedule(num_paths=2, rng=9)
+        assert a.events[0].start_s == b.events[0].start_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            random_blockage_schedule(num_paths=0)
+        with pytest.raises(ValueError):
+            random_blockage_schedule(num_paths=1, min_duration_s=0.5,
+                                     max_duration_s=0.1)
+        with pytest.raises(ValueError):
+            random_blockage_schedule(num_paths=1, observation_s=0.3)

@@ -1,0 +1,145 @@
+"""Tests for the stochastic clustered channel generator."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import UniformLinearArray, single_beam_weights
+from repro.channel.clusters import (
+    INDOOR_CLUSTERS,
+    OUTDOOR_CLUSTERS,
+    ClusterProfile,
+    cluster_relative_attenuation_db,
+    generate_clustered_channel,
+)
+from repro.core.multibeam import multibeam_from_channel, optimal_mrt_weights
+
+
+ARRAY = UniformLinearArray(num_elements=8)
+
+
+class TestGeneration:
+    def test_path_count(self):
+        channel = generate_clustered_channel(ARRAY, INDOOR_CLUSTERS, rng=0)
+        expected = 1 + INDOOR_CLUSTERS.num_clusters * INDOOR_CLUSTERS.rays_per_cluster
+        assert channel.num_paths == expected
+
+    def test_los_is_strongest_single_path(self):
+        channel = generate_clustered_channel(ARRAY, INDOOR_CLUSTERS, rng=1)
+        strongest = channel.strongest_paths(1)[0]
+        assert strongest.label == "los"
+
+    def test_deterministic_under_seed(self):
+        a = generate_clustered_channel(ARRAY, INDOOR_CLUSTERS, rng=5)
+        b = generate_clustered_channel(ARRAY, INDOOR_CLUSTERS, rng=5)
+        assert a.gains() == pytest.approx(b.gains())
+        assert a.aods() == pytest.approx(b.aods())
+
+    def test_clusters_angularly_separated(self):
+        channel = generate_clustered_channel(ARRAY, INDOOR_CLUSTERS, rng=2)
+        centers = {}
+        for path in channel.paths:
+            if path.label != "los":
+                key = path.label.split(":")[0]
+                centers.setdefault(key, []).append(path.aod_rad)
+        means = [np.mean(v) for v in centers.values()]
+        means.append(0.0)  # LOS
+        for i in range(len(means)):
+            for j in range(i + 1, len(means)):
+                # Intra-cluster spread can push means slightly together.
+                assert abs(means[i] - means[j]) > np.deg2rad(6.0)
+
+    def test_excess_delays_positive(self):
+        channel = generate_clustered_channel(ARRAY, OUTDOOR_CLUSTERS, rng=3)
+        delays = channel.delays()
+        los_delay = delays[0]
+        assert np.all(delays[1:] > los_delay)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterProfile(name="x", num_clusters=-1)
+        with pytest.raises(ValueError):
+            ClusterProfile(name="x", rays_per_cluster=0)
+        with pytest.raises(ValueError):
+            ClusterProfile(name="x", delay_spread_s=0.0)
+
+    def test_impossible_separation_raises(self):
+        profile = ClusterProfile(
+            name="cramped",
+            num_clusters=10,
+            min_cluster_separation_rad=np.deg2rad(30.0),
+        )
+        with pytest.raises(RuntimeError, match="separation"):
+            generate_clustered_channel(ARRAY, profile, rng=0)
+
+
+class TestStatistics:
+    def test_indoor_median_attenuation_matches_profile(self):
+        samples = [
+            cluster_relative_attenuation_db(
+                generate_clustered_channel(ARRAY, INDOOR_CLUSTERS, rng=seed)
+            )
+            for seed in range(80)
+        ]
+        # Strongest-of-two clusters: median sits at or below the
+        # per-cluster mean of 7.2 dB.
+        assert 3.0 <= np.median(samples) <= 8.5
+
+    def test_outdoor_reflections_stronger(self):
+        indoor = np.median(
+            [
+                cluster_relative_attenuation_db(
+                    generate_clustered_channel(
+                        ARRAY, INDOOR_CLUSTERS, rng=seed
+                    )
+                )
+                for seed in range(60)
+            ]
+        )
+        outdoor = np.median(
+            [
+                cluster_relative_attenuation_db(
+                    generate_clustered_channel(
+                        ARRAY, OUTDOOR_CLUSTERS, rng=seed
+                    )
+                )
+                for seed in range(60)
+            ]
+        )
+        assert outdoor < indoor
+
+
+class TestMultibeamOnClusteredChannels:
+    def test_multibeam_gains_on_average(self):
+        """Constructive multi-beam helps across random realizations."""
+        gains_db = []
+        for seed in range(20):
+            channel = generate_clustered_channel(
+                ARRAY, INDOOR_CLUSTERS, rng=seed
+            )
+
+            def power(weights):
+                return abs(
+                    np.sum(channel.beamformed_path_gains(weights))
+                ) ** 2
+
+            single = power(
+                single_beam_weights(ARRAY, channel.paths[0].aod_rad)
+            )
+            multi = power(multibeam_from_channel(channel, 3).weights().vector)
+            gains_db.append(10 * np.log10(multi / single))
+        assert np.mean(gains_db) > 0.3
+
+    def test_mrt_upper_bounds_multibeam(self):
+        for seed in range(5):
+            channel = generate_clustered_channel(
+                ARRAY, INDOOR_CLUSTERS, rng=seed
+            )
+
+            def power(weights):
+                return abs(
+                    np.sum(channel.beamformed_path_gains(weights))
+                ) ** 2
+
+            multi = power(multibeam_from_channel(channel, 3).weights().vector)
+            mrt = power(optimal_mrt_weights(channel))
+            assert mrt >= multi - 1e-9

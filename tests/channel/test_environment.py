@@ -1,0 +1,152 @@
+"""Tests for the 2-D image-method ray tracer."""
+
+import numpy as np
+import pytest
+
+from repro.channel.environment import (
+    Environment,
+    Reflector,
+    random_indoor_environment,
+    random_outdoor_environment,
+    trace_paths,
+)
+from repro.utils import SPEED_OF_LIGHT
+
+
+class TestReflector:
+    def test_mirror_point_across_horizontal_wall(self):
+        wall = Reflector(start=(0.0, 5.0), end=(10.0, 5.0))
+        image = wall.mirror_point((3.0, 2.0))
+        assert image == pytest.approx([3.0, 8.0])
+
+    def test_specular_point_symmetric_geometry(self):
+        wall = Reflector(start=(-10.0, 5.0), end=(10.0, 5.0))
+        spec = wall.specular_point((-2.0, 0.0), (2.0, 0.0))
+        assert spec == pytest.approx([0.0, 5.0])
+
+    def test_specular_point_respects_segment_extent(self):
+        short_wall = Reflector(start=(5.0, 5.0), end=(6.0, 5.0))
+        assert short_wall.specular_point((-2.0, 0.0), (2.0, 0.0)) is None
+
+    def test_reflection_law(self):
+        # Angle of incidence equals angle of reflection at the specular point.
+        wall = Reflector(start=(-10.0, 4.0), end=(10.0, 4.0))
+        tx, rx = np.array([-3.0, 0.0]), np.array([5.0, 2.0])
+        spec = wall.specular_point(tx, rx)
+        incoming = spec - tx
+        outgoing = np.asarray(rx) - spec
+        # For a horizontal wall, the vertical components mirror.
+        angle_in = np.arctan2(incoming[1], incoming[0])
+        angle_out = np.arctan2(-outgoing[1], outgoing[0])
+        assert angle_in == pytest.approx(angle_out, abs=1e-9)
+
+    def test_degenerate_reflector_rejected(self):
+        with pytest.raises(ValueError):
+            Reflector(start=(1.0, 1.0), end=(1.0, 1.0))
+
+    def test_unknown_material_rejected(self):
+        with pytest.raises(KeyError):
+            Reflector(start=(0, 0), end=(1, 0), material="unobtainium")
+
+
+class TestTracePaths:
+    def make_env(self):
+        wall = Reflector(start=(-20.0, 5.0), end=(20.0, 5.0), material="metal")
+        return Environment(reflectors=(wall,), name="test")
+
+    def test_direct_and_reflected(self):
+        env = self.make_env()
+        paths = trace_paths(
+            env, (0.0, 0.0), (8.0, 0.0), tx_boresight_rad=0.0,
+            rx_boresight_rad=np.pi,
+        )
+        labels = sorted(p.label for p in paths)
+        assert labels == ["los", "reflection:metal"]
+
+    def test_los_delay_matches_distance(self):
+        env = self.make_env()
+        paths = trace_paths(
+            env, (0.0, 0.0), (8.0, 0.0), tx_boresight_rad=0.0,
+            rx_boresight_rad=np.pi,
+        )
+        los = next(p for p in paths if p.label == "los")
+        assert los.delay_s == pytest.approx(8.0 / SPEED_OF_LIGHT)
+
+    def test_reflection_longer_and_weaker(self):
+        env = self.make_env()
+        paths = trace_paths(
+            env, (0.0, 0.0), (8.0, 0.0), tx_boresight_rad=0.0,
+            rx_boresight_rad=np.pi,
+        )
+        los = next(p for p in paths if p.label == "los")
+        bounce = next(p for p in paths if p.label.startswith("reflection"))
+        assert bounce.delay_s > los.delay_s
+        assert abs(bounce.gain) < abs(los.gain)
+
+    def test_reflection_path_length(self):
+        env = self.make_env()
+        paths = trace_paths(
+            env, (0.0, 0.0), (8.0, 0.0), tx_boresight_rad=0.0,
+            rx_boresight_rad=np.pi,
+        )
+        bounce = next(p for p in paths if p.label.startswith("reflection"))
+        # Image method: length = |tx - image(rx)| = |(0,0)-(8,10)|.
+        expected = np.hypot(8.0, 10.0)
+        assert bounce.delay_s == pytest.approx(expected / SPEED_OF_LIGHT)
+
+    def test_aod_of_reflection_points_up(self):
+        env = self.make_env()
+        paths = trace_paths(
+            env, (0.0, 0.0), (8.0, 0.0), tx_boresight_rad=0.0,
+            rx_boresight_rad=np.pi,
+        )
+        bounce = next(p for p in paths if p.label.startswith("reflection"))
+        assert bounce.aod_rad > 0  # wall is above the link axis
+
+    def test_fov_filtering(self):
+        env = self.make_env()
+        # Point the tx array away from the receiver: no LOS in FoV, but
+        # the reflection (upward) stays inside.
+        paths = trace_paths(
+            env, (0.0, 0.0), (8.0, 0.0), tx_boresight_rad=np.pi / 2,
+            rx_boresight_rad=np.pi, field_of_view_rad=np.pi / 2,
+        )
+        assert all(not p.label == "los" for p in paths)
+
+    def test_no_paths_raises(self):
+        env = Environment(reflectors=())
+        with pytest.raises(ValueError, match="field of view"):
+            trace_paths(
+                env, (0.0, 0.0), (8.0, 0.0), tx_boresight_rad=np.pi,
+                field_of_view_rad=np.pi / 4,
+            )
+
+    def test_coincident_positions_rejected(self):
+        env = self.make_env()
+        with pytest.raises(ValueError):
+            trace_paths(env, (1.0, 1.0), (1.0, 1.0))
+
+
+class TestRandomEnvironments:
+    def test_indoor_has_four_walls(self):
+        env = random_indoor_environment(rng=0)
+        assert len(env.reflectors) == 4
+        assert env.carrier_frequency_hz == 28e9
+
+    def test_outdoor_has_building(self):
+        env = random_outdoor_environment(rng=0)
+        assert len(env.reflectors) == 1
+
+    def test_deterministic_with_seed(self):
+        a = random_indoor_environment(rng=7)
+        b = random_indoor_environment(rng=7)
+        assert [r.material for r in a.reflectors] == [
+            r.material for r in b.reflectors
+        ]
+
+    def test_outdoor_offset_randomized(self):
+        offsets = {
+            random_outdoor_environment(rng=i).reflectors[0].start[1]
+            for i in range(5)
+        }
+        assert len(offsets) > 1

@@ -1,0 +1,164 @@
+"""Tests for the geometric multipath channel."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import UniformLinearArray, single_beam_weights, steering_vector
+from repro.channel.geometric import GeometricChannel
+from repro.channel.paths import Path
+
+
+@pytest.fixture
+def array():
+    return UniformLinearArray(num_elements=8)
+
+
+def make_channel(array, gains=(1.0, 0.5j), angles=(0.0, 0.4), delays=(0.0, 3e-9)):
+    paths = tuple(
+        Path(aod_rad=a, gain=g, delay_s=d)
+        for a, g, d in zip(angles, gains, delays)
+    )
+    return GeometricChannel(tx_array=array, paths=paths)
+
+
+class TestStructure:
+    def test_requires_paths(self, array):
+        with pytest.raises(ValueError):
+            GeometricChannel(tx_array=array, paths=())
+
+    def test_accessors(self, array):
+        channel = make_channel(array)
+        assert channel.num_paths == 2
+        assert channel.aods() == pytest.approx([0.0, 0.4])
+        assert channel.gains() == pytest.approx([1.0, 0.5j])
+        assert channel.delays() == pytest.approx([0.0, 3e-9])
+
+    def test_strongest_paths(self, array):
+        channel = make_channel(array, gains=(0.2, 1.0))
+        strongest = channel.strongest_paths(1)
+        assert strongest[0].gain == pytest.approx(1.0)
+
+
+class TestNarrowbandVector:
+    def test_matches_manual_sum(self, array):
+        channel = make_channel(array)
+        h = channel.narrowband_vector()
+        expected = 1.0 * steering_vector(array, 0.0) + 0.5j * steering_vector(
+            array, 0.4
+        )
+        assert h == pytest.approx(expected)
+
+    def test_shape(self, array):
+        assert make_channel(array).narrowband_vector().shape == (8,)
+
+
+class TestElementResponse:
+    def test_zero_frequency_matches_narrowband(self, array):
+        channel = make_channel(array)
+        response = channel.element_response([0.0])
+        assert response[0] == pytest.approx(channel.narrowband_vector())
+
+    def test_delay_phase_rotation(self, array):
+        channel = make_channel(array, gains=(1.0,), angles=(0.0,), delays=(5e-9,))
+        freq = 100e6
+        response = channel.element_response([freq])
+        expected_rotation = np.exp(-2j * np.pi * freq * 5e-9)
+        assert response[0] == pytest.approx(
+            channel.narrowband_vector() * expected_rotation
+        )
+
+
+class TestBeamformedResponse:
+    def test_single_path_full_gain(self, array):
+        channel = make_channel(array, gains=(1.0,), angles=(0.3,), delays=(0.0,))
+        w = single_beam_weights(array, 0.3)
+        alphas = channel.beamformed_path_gains(w)
+        assert abs(alphas[0]) == pytest.approx(np.sqrt(8))
+
+    def test_frequency_response_linearity(self, array):
+        channel = make_channel(array)
+        w = single_beam_weights(array, 0.0)
+        freqs = np.linspace(-50e6, 50e6, 5)
+        response = channel.frequency_response(w, freqs)
+        # Response must equal the sum of single-path responses.
+        total = np.zeros(5, dtype=complex)
+        for path in channel.paths:
+            single = GeometricChannel(tx_array=array, paths=(path,))
+            total += single.frequency_response(w, freqs)
+        assert response == pytest.approx(total)
+
+    def test_quasi_omni_rx_gain_is_unity(self, array):
+        channel = make_channel(array)
+        assert channel.path_rx_gains(None) == pytest.approx(np.ones(2))
+
+    def test_directional_rx(self, array):
+        rx_array = UniformLinearArray(num_elements=4)
+        paths = (
+            Path(aod_rad=0.0, gain=1.0, aoa_rad=0.2),
+        )
+        channel = GeometricChannel(
+            tx_array=array, paths=paths, rx_array=rx_array
+        )
+        rx_w = single_beam_weights(rx_array, 0.2)
+        gains = channel.path_rx_gains(rx_w)
+        assert abs(gains[0]) == pytest.approx(np.sqrt(4))
+
+
+class TestEvolution:
+    def test_with_path_scaling(self, array):
+        channel = make_channel(array)
+        scaled = channel.with_path_scaling([0.5, 1.0])
+        assert scaled.gains()[0] == pytest.approx(0.5)
+        assert scaled.gains()[1] == pytest.approx(0.5j)
+
+    def test_scaling_wrong_shape(self, array):
+        with pytest.raises(ValueError):
+            make_channel(array).with_path_scaling([0.5])
+
+    def test_rotated_scalar_broadcast(self, array):
+        channel = make_channel(array).rotated(0.1)
+        assert channel.aods() == pytest.approx([0.1, 0.5])
+
+    def test_rotated_per_path(self, array):
+        channel = make_channel(array).rotated([0.1, -0.1])
+        assert channel.aods() == pytest.approx([0.1, 0.3])
+
+    def test_original_unchanged(self, array):
+        channel = make_channel(array)
+        channel.with_path_scaling([0.0, 0.0])
+        assert channel.gains() == pytest.approx([1.0, 0.5j])
+
+
+class TestSnr:
+    def test_received_snr_positive(self, array):
+        channel = make_channel(array)
+        w = single_beam_weights(array, 0.0)
+        snr = channel.received_snr(w, 1.0, 1e-12)
+        assert snr > 0
+
+    def test_mrt_beats_single_beam_narrowband(self, array):
+        channel = make_channel(array, gains=(1e-4, 0.7e-4), delays=(0.0, 0.0))
+        w_single = single_beam_weights(array, 0.0)
+        h = channel.narrowband_vector()
+        w_mrt = np.conj(h) / np.linalg.norm(h)
+        assert channel.received_snr(w_mrt, 1.0, 1e-12) >= channel.received_snr(
+            w_single, 1.0, 1e-12
+        )
+
+
+class TestBandVaryingWeights:
+    def test_matches_constant_weights(self, array):
+        channel = make_channel(array)
+        w = single_beam_weights(array, 0.0)
+        freqs = np.linspace(-100e6, 100e6, 7)
+        constant = channel.frequency_response(w, freqs)
+        stacked = np.tile(w, (7, 1))
+        varying = channel.frequency_response_with_array_weights(stacked, freqs)
+        assert varying == pytest.approx(constant)
+
+    def test_shape_mismatch_rejected(self, array):
+        channel = make_channel(array)
+        with pytest.raises(ValueError):
+            channel.frequency_response_with_array_weights(
+                np.ones((3, 8), dtype=complex), np.zeros(4)
+            )

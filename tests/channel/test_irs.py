@@ -1,0 +1,112 @@
+"""Tests for the intelligent reflecting surface model (Section 8)."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import UniformLinearArray
+from repro.channel.environment import Environment, Reflector, trace_paths
+from repro.channel.geometric import GeometricChannel
+from repro.channel.irs import IntelligentSurface, add_irs_path
+from repro.core.multibeam import multibeam_from_channel
+from repro.utils import SPEED_OF_LIGHT
+
+
+TX = (0.0, 0.0)
+RX = (10.0, 0.0)
+CARRIER = 28e9
+
+
+class TestIntelligentSurface:
+    def test_beamforming_gain(self):
+        surface = IntelligentSurface(position=(5.0, 4.0), num_elements=64)
+        assert surface.beamforming_gain_db() == pytest.approx(
+            20 * np.log10(64)
+        )
+
+    def test_gain_capped(self):
+        surface = IntelligentSurface(
+            position=(5.0, 4.0), num_elements=10_000, max_gain_db=40.0
+        )
+        assert surface.beamforming_gain_db() == 40.0
+
+    def test_path_geometry(self):
+        surface = IntelligentSurface(position=(5.0, 4.0))
+        path = surface.reflected_path(TX, RX, CARRIER)
+        expected_length = np.hypot(5, 4) + np.hypot(5, 4)
+        assert path.delay_s == pytest.approx(
+            expected_length / SPEED_OF_LIGHT
+        )
+        assert path.aod_rad == pytest.approx(np.arctan2(4, 5))
+        assert path.label == "irs:configured"
+
+    def test_configured_much_stronger_than_idle(self):
+        surface = IntelligentSurface(position=(5.0, 4.0), num_elements=64)
+        configured = surface.reflected_path(TX, RX, CARRIER)
+        idle = surface.with_configuration(False).reflected_path(
+            TX, RX, CARRIER
+        )
+        gain_gap_db = configured.power_db - idle.power_db
+        assert gain_gap_db == pytest.approx(
+            surface.beamforming_gain_db() + surface.unconfigured_loss_db
+        )
+
+    def test_configured_panel_competitive_with_natural_reflector(self):
+        # The Section 8 vision: an engineered reflection within a few dB
+        # of a natural specular bounce despite the product path loss.
+        wall = Reflector(start=(-10.0, 4.0), end=(20.0, 4.0),
+                         material="concrete")
+        env = Environment(reflectors=(wall,), carrier_frequency_hz=CARRIER)
+        natural = [
+            p for p in trace_paths(env, TX, RX)
+            if p.label.startswith("reflection")
+        ][0]
+        # A realistic panel (2048 unit cells, ScatterMIMO-scale) makes
+        # the product path loss competitive with the specular bounce.
+        surface = IntelligentSurface(
+            position=(5.0, 4.0), num_elements=2048, max_gain_db=70.0
+        )
+        engineered = surface.reflected_path(TX, RX, CARRIER)
+        assert engineered.power_db > natural.power_db - 6.0
+        # A small panel is NOT competitive: the product path loss wins.
+        small = IntelligentSurface(position=(5.0, 4.0), num_elements=64)
+        weak = small.reflected_path(TX, RX, CARRIER)
+        assert weak.power_db < natural.power_db - 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntelligentSurface(position=(0.0, 1.0), num_elements=0)
+        surface = IntelligentSurface(position=(0.0, 0.0))
+        with pytest.raises(ValueError):
+            surface.reflected_path(TX, (0.0, 0.0), CARRIER)
+
+
+class TestAddIrsPath:
+    def test_appends_to_traced_paths(self):
+        env = Environment(reflectors=(), carrier_frequency_hz=CARRIER)
+        paths = trace_paths(env, TX, RX)
+        surface = IntelligentSurface(position=(5.0, 4.0), num_elements=256)
+        extended = add_irs_path(paths, surface, TX, RX, CARRIER)
+        assert len(extended) == len(paths) + 1
+        assert extended[-1].label == "irs:configured"
+
+    def test_multibeam_exploits_irs(self):
+        # An environment with no natural reflectors: the multi-beam falls
+        # back to single-beam... unless an IRS provides the second path.
+        array = UniformLinearArray(num_elements=8)
+        env = Environment(reflectors=(), carrier_frequency_hz=CARRIER)
+        paths = trace_paths(env, TX, RX)
+        surface = IntelligentSurface(
+            position=(5.0, 4.0), num_elements=2048, max_gain_db=70.0
+        )
+        extended = add_irs_path(paths, surface, TX, RX, CARRIER)
+        channel = GeometricChannel(tx_array=array, paths=extended)
+        multibeam = multibeam_from_channel(channel, 2)
+
+        def power(weights):
+            return abs(np.sum(channel.beamformed_path_gains(weights))) ** 2
+
+        from repro.arrays.steering import single_beam_weights
+
+        single = power(single_beam_weights(array, paths[0].aod_rad))
+        multi = power(multibeam.weights().vector)
+        assert multi > single

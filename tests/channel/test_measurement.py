@@ -1,0 +1,64 @@
+"""Tests for the synthetic reflector-strength measurement study (Fig. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import UniformLinearArray
+from repro.channel.environment import random_indoor_environment
+from repro.channel.measurement import (
+    attenuation_cdf,
+    reflector_attenuation_study,
+    spatial_power_heatmap,
+)
+from repro.channel.mobility import LinearTrajectory
+
+
+class TestAttenuationStudy:
+    def test_returns_requested_samples(self):
+        samples = reflector_attenuation_study(30, scenario="indoor", rng=0)
+        assert samples.shape == (30,)
+        assert np.all(np.isfinite(samples))
+
+    def test_indoor_median_in_measured_range(self):
+        # Paper Fig. 4a: indoor median ~7.2 dB; allow generous band.
+        samples = reflector_attenuation_study(120, scenario="indoor", rng=1)
+        assert 3.0 <= np.median(samples) <= 12.0
+
+    def test_outdoor_median_in_measured_range(self):
+        # Paper Fig. 4a: outdoor median ~5 dB.
+        samples = reflector_attenuation_study(120, scenario="outdoor", rng=2)
+        assert 2.0 <= np.median(samples) <= 10.0
+
+    def test_rejects_bad_scenario(self):
+        with pytest.raises(ValueError):
+            reflector_attenuation_study(5, scenario="submarine")
+
+    def test_deterministic(self):
+        a = reflector_attenuation_study(10, scenario="indoor", rng=5)
+        b = reflector_attenuation_study(10, scenario="indoor", rng=5)
+        assert a == pytest.approx(b)
+
+
+class TestAttenuationCdf:
+    def test_monotone(self):
+        x, p = attenuation_cdf(np.array([3.0, 1.0, 2.0]))
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(p) > 0)
+        assert p[-1] == pytest.approx(1.0)
+
+
+class TestSpatialHeatmap:
+    def test_shape_and_content(self):
+        array = UniformLinearArray(num_elements=8)
+        env = random_indoor_environment(rng=0)
+        trajectory = LinearTrajectory(
+            start_position=(2.5, 6.0), velocity_mps=(0.7, 0.0)
+        )
+        times = np.linspace(0.0, 1.0, 5)
+        angles = np.deg2rad(np.linspace(-60, 60, 25))
+        heatmap = spatial_power_heatmap(
+            env, array, (3.5, 0.5), trajectory, times, angles
+        )
+        assert heatmap.shape == (5, 25)
+        # The LOS ridge must be visible: each row has a clear peak.
+        assert np.all(np.max(heatmap, axis=1) > np.median(heatmap, axis=1) + 3)

@@ -1,0 +1,105 @@
+"""Tests for mobility trajectories."""
+
+import numpy as np
+import pytest
+
+from repro.channel.mobility import (
+    LinearTrajectory,
+    Pose,
+    RotationTrajectory,
+    StaticPose,
+    WaypointTrajectory,
+    angular_deviation_seen_by_tx,
+)
+
+
+class TestStaticPose:
+    def test_time_invariant(self):
+        trajectory = StaticPose(position=(1.0, 2.0), orientation_rad=0.3)
+        assert trajectory.pose(0.0) == trajectory.pose(10.0)
+
+
+class TestLinearTrajectory:
+    def test_position_advances(self):
+        trajectory = LinearTrajectory(
+            start_position=(0.0, 5.0), velocity_mps=(1.5, 0.0)
+        )
+        pose = trajectory.pose(2.0)
+        assert pose.position == pytest.approx((3.0, 5.0))
+
+    def test_orientation_constant(self):
+        trajectory = LinearTrajectory(
+            start_position=(0.0, 0.0), velocity_mps=(1.0, 0.0),
+            orientation_rad=0.7,
+        )
+        assert trajectory.pose(5.0).orientation_rad == pytest.approx(0.7)
+
+
+class TestRotationTrajectory:
+    def test_vr_headset_speed(self):
+        # 24 deg/s, the paper's VR rotation rate.
+        trajectory = RotationTrajectory(
+            position=(0.0, 7.0), angular_speed_rad_s=np.deg2rad(24.0)
+        )
+        pose = trajectory.pose(1.0)
+        assert pose.orientation_rad == pytest.approx(np.deg2rad(24.0))
+
+    def test_wraps_angle(self):
+        trajectory = RotationTrajectory(
+            position=(0.0, 0.0), angular_speed_rad_s=np.pi
+        )
+        assert abs(trajectory.pose(3.0).orientation_rad) <= np.pi
+
+
+class TestWaypointTrajectory:
+    def test_interpolation(self):
+        trajectory = WaypointTrajectory(
+            times_s=(0.0, 1.0),
+            positions=((0.0, 0.0), (2.0, 4.0)),
+        )
+        pose = trajectory.pose(0.5)
+        assert pose.position == pytest.approx((1.0, 2.0))
+
+    def test_clamps_outside_span(self):
+        trajectory = WaypointTrajectory(
+            times_s=(0.0, 1.0),
+            positions=((0.0, 0.0), (2.0, 4.0)),
+        )
+        assert trajectory.pose(-1.0).position == pytest.approx((0.0, 0.0))
+        assert trajectory.pose(9.0).position == pytest.approx((2.0, 4.0))
+
+    def test_orientation_interpolates(self):
+        trajectory = WaypointTrajectory(
+            times_s=(0.0, 2.0),
+            positions=((0.0, 0.0), (0.0, 0.0)),
+            orientations_rad=(0.0, 1.0),
+        )
+        assert trajectory.pose(1.0).orientation_rad == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WaypointTrajectory(times_s=(0.0,), positions=((0.0, 0.0),))
+        with pytest.raises(ValueError):
+            WaypointTrajectory(
+                times_s=(0.0, 0.0), positions=((0.0, 0.0), (1.0, 1.0))
+            )
+        with pytest.raises(ValueError):
+            WaypointTrajectory(
+                times_s=(0.0, 1.0), positions=((0.0, 0.0),)
+            )
+
+
+class TestAngularDeviation:
+    def test_perpendicular_motion(self):
+        # User at 7 m moving 0.7 m sideways: bearing change ~ atan(0.1).
+        tx = (0.0, 0.0)
+        then = Pose(position=(0.0, 7.0))
+        now = Pose(position=(0.7, 7.0))
+        deviation = angular_deviation_seen_by_tx(tx, then, now)
+        assert abs(deviation) == pytest.approx(np.arctan2(0.7, 7.0), abs=1e-9)
+
+    def test_radial_motion_no_deviation(self):
+        tx = (0.0, 0.0)
+        then = Pose(position=(0.0, 5.0))
+        now = Pose(position=(0.0, 9.0))
+        assert angular_deviation_seen_by_tx(tx, then, now) == pytest.approx(0.0)

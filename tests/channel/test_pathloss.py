@@ -1,0 +1,91 @@
+"""Tests for path loss, reflection loss and atmospheric absorption."""
+
+import numpy as np
+import pytest
+
+from repro.channel.pathloss import (
+    MATERIAL_REFLECTION_LOSS_DB,
+    atmospheric_absorption_db_per_km,
+    friis_path_loss_db,
+    path_amplitude,
+    reflection_loss_db,
+    total_path_loss_db,
+)
+
+
+class TestFriis:
+    def test_known_value_28ghz_1m(self):
+        # FSPL(1 m, 28 GHz) = 20 log10(4 pi f / c) ~= 61.4 dB.
+        assert friis_path_loss_db(1.0, 28e9) == pytest.approx(61.4, abs=0.1)
+
+    def test_doubling_distance_adds_6db(self):
+        assert friis_path_loss_db(20.0, 28e9) - friis_path_loss_db(
+            10.0, 28e9
+        ) == pytest.approx(6.02, abs=0.01)
+
+    def test_60ghz_higher_loss_than_28ghz(self):
+        delta = friis_path_loss_db(10.0, 60e9) - friis_path_loss_db(10.0, 28e9)
+        assert delta == pytest.approx(20 * np.log10(60 / 28), abs=0.01)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            friis_path_loss_db(0.0, 28e9)
+        with pytest.raises(ValueError):
+            friis_path_loss_db(1.0, 0.0)
+
+
+class TestReflectionLoss:
+    def test_metal_is_best_reflector(self):
+        losses = MATERIAL_REFLECTION_LOSS_DB
+        assert losses["metal"] == min(losses.values())
+
+    def test_all_materials_in_measured_range(self):
+        # Paper Fig. 4: common reflectors attenuate by ~1-10 dB.
+        for loss in MATERIAL_REFLECTION_LOSS_DB.values():
+            assert 0.5 <= loss <= 10.0
+
+    def test_unknown_material_lists_options(self):
+        with pytest.raises(KeyError, match="concrete"):
+            reflection_loss_db("vibranium")
+
+
+class TestAtmosphericAbsorption:
+    def test_negligible_at_28ghz(self):
+        assert atmospheric_absorption_db_per_km(28e9) < 0.5
+
+    def test_oxygen_peak_at_60ghz(self):
+        assert atmospheric_absorption_db_per_km(60e9) == pytest.approx(
+            15.0, rel=0.1
+        )
+
+    def test_60ghz_much_worse_than_28ghz(self):
+        ratio = atmospheric_absorption_db_per_km(
+            60e9
+        ) / atmospheric_absorption_db_per_km(28e9)
+        assert ratio > 50
+
+    def test_resonance_shape(self):
+        # Absorption rises toward 60 GHz from both sides.
+        assert atmospheric_absorption_db_per_km(50e9) < atmospheric_absorption_db_per_km(57e9)
+        assert atmospheric_absorption_db_per_km(70e9) < atmospheric_absorption_db_per_km(63e9)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            atmospheric_absorption_db_per_km(0.0)
+
+
+class TestTotalPathLoss:
+    def test_reflection_adds_material_loss(self):
+        direct = total_path_loss_db(10.0, 28e9, num_reflections=0)
+        bounced = total_path_loss_db(10.0, 28e9, num_reflections=1, material="concrete")
+        assert bounced - direct == pytest.approx(
+            MATERIAL_REFLECTION_LOSS_DB["concrete"]
+        )
+
+    def test_rejects_negative_reflections(self):
+        with pytest.raises(ValueError):
+            total_path_loss_db(10.0, 28e9, num_reflections=-1)
+
+    def test_path_amplitude_consistent(self):
+        loss = total_path_loss_db(15.0, 28e9)
+        assert path_amplitude(15.0, 28e9) == pytest.approx(10 ** (-loss / 20))

@@ -1,0 +1,86 @@
+"""Tests for channel path primitives."""
+
+import numpy as np
+import pytest
+
+from repro.channel.paths import (
+    Path,
+    relative_delays,
+    relative_gains,
+    sort_by_power,
+)
+
+
+class TestPath:
+    def test_power(self):
+        path = Path(aod_rad=0.0, gain=0.5 + 0.5j)
+        assert path.power == pytest.approx(0.5)
+
+    def test_power_db(self):
+        path = Path(aod_rad=0.0, gain=0.1)
+        assert path.power_db == pytest.approx(-20.0)
+
+    def test_zero_gain_power_db(self):
+        path = Path(aod_rad=0.0, gain=0.0)
+        assert path.power_db == -np.inf
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            Path(aod_rad=0.0, gain=1.0, delay_s=-1e-9)
+
+    def test_attenuated(self):
+        path = Path(aod_rad=0.1, gain=1.0 + 0j, delay_s=1e-9, label="los")
+        out = path.attenuated(0.5)
+        assert out.gain == pytest.approx(0.5)
+        assert out.aod_rad == path.aod_rad
+        assert out.label == "los"
+
+    def test_rotated(self):
+        path = Path(aod_rad=0.1, gain=1.0, aoa_rad=0.2)
+        out = path.rotated(0.05, -0.05)
+        assert out.aod_rad == pytest.approx(0.15)
+        assert out.aoa_rad == pytest.approx(0.15)
+
+    def test_delayed(self):
+        path = Path(aod_rad=0.0, gain=1.0, delay_s=1e-9)
+        assert path.delayed(2e-9).delay_s == pytest.approx(3e-9)
+
+
+class TestSortByPower:
+    def test_orders_strongest_first(self):
+        paths = [
+            Path(aod_rad=0.0, gain=0.1),
+            Path(aod_rad=0.1, gain=1.0),
+            Path(aod_rad=0.2, gain=0.5),
+        ]
+        ordered = sort_by_power(paths)
+        assert [abs(p.gain) for p in ordered] == [1.0, 0.5, 0.1]
+
+
+class TestRelativeGains:
+    def test_reference_is_unity(self):
+        paths = [
+            Path(aod_rad=0.0, gain=2.0),
+            Path(aod_rad=0.1, gain=1.0j),
+        ]
+        gains = relative_gains(paths)
+        assert gains[0] == pytest.approx(1.0)
+        assert gains[1] == pytest.approx(0.5j)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            relative_gains([])
+
+    def test_zero_reference_raises(self):
+        with pytest.raises(ValueError):
+            relative_gains([Path(aod_rad=0.0, gain=0.0)])
+
+
+class TestRelativeDelays:
+    def test_relative_to_strongest(self):
+        paths = [
+            Path(aod_rad=0.0, gain=1.0, delay_s=10e-9),
+            Path(aod_rad=0.1, gain=0.5, delay_s=13e-9),
+        ]
+        delays = relative_delays(paths)
+        assert delays == pytest.approx([0.0, 3e-9])

@@ -1,0 +1,79 @@
+"""Tests for second-order (double-bounce) ray tracing."""
+
+import numpy as np
+import pytest
+
+from repro.channel.environment import Environment, Reflector, trace_paths
+from repro.utils import SPEED_OF_LIGHT
+
+
+def corridor():
+    """Two parallel metal walls: a classic double-bounce geometry."""
+    top = Reflector(start=(-20.0, 3.0), end=(40.0, 3.0), material="metal")
+    bottom = Reflector(
+        start=(-20.0, -3.0), end=(40.0, -3.0), material="metal"
+    )
+    return Environment(reflectors=(top, bottom), carrier_frequency_hz=28e9)
+
+
+class TestSecondOrder:
+    def test_default_order_has_no_double_bounce(self):
+        paths = trace_paths(corridor(), (0.0, 0.0), (10.0, 0.0))
+        assert not any(p.label.startswith("reflection2") for p in paths)
+
+    def test_double_bounce_found_in_corridor(self):
+        paths = trace_paths(
+            corridor(), (0.0, 0.0), (10.0, 0.0), max_order=2
+        )
+        doubles = [p for p in paths if p.label.startswith("reflection2")]
+        # top->bottom and bottom->top both exist by symmetry.
+        assert len(doubles) == 2
+        labels = sorted(p.label for p in doubles)
+        assert labels == ["reflection2:metal+metal"] * 2
+
+    def test_double_bounce_longer_than_single(self):
+        paths = trace_paths(
+            corridor(), (0.0, 0.0), (10.0, 0.0), max_order=2
+        )
+        singles = [p for p in paths if p.label.startswith("reflection:")]
+        doubles = [p for p in paths if p.label.startswith("reflection2")]
+        assert min(d.delay_s for d in doubles) > max(
+            s.delay_s for s in singles
+        )
+
+    def test_double_bounce_geometry_exact(self):
+        # tx at (0, 0), rx at (10, 0), walls at y = +/-3.  The
+        # top-then-bottom image path has length |tx - image2| where
+        # image2 = mirror_top(mirror_bottom(rx)) = (10, 12).
+        paths = trace_paths(
+            corridor(), (0.0, 0.0), (10.0, 0.0), max_order=2
+        )
+        doubles = [p for p in paths if p.label.startswith("reflection2")]
+        expected = np.hypot(10.0, 12.0) / SPEED_OF_LIGHT
+        for path in doubles:
+            assert path.delay_s == pytest.approx(expected)
+
+    def test_double_bounce_weaker_than_single(self):
+        # Two bounces pay two material losses plus the longer path.
+        paths = trace_paths(
+            corridor(), (0.0, 0.0), (10.0, 0.0), max_order=2
+        )
+        singles = [p for p in paths if p.label.startswith("reflection:")]
+        doubles = [p for p in paths if p.label.startswith("reflection2")]
+        assert max(d.power for d in doubles) < min(s.power for s in singles)
+
+    def test_single_wall_has_no_double_bounce(self):
+        wall = Reflector(start=(-20.0, 3.0), end=(40.0, 3.0),
+                         material="metal")
+        env = Environment(reflectors=(wall,), carrier_frequency_hz=28e9)
+        paths = trace_paths(env, (0.0, 0.0), (10.0, 0.0), max_order=2)
+        assert not any(p.label.startswith("reflection2") for p in paths)
+
+    def test_sparse_channel_shape_preserved(self):
+        # Even with second order enabled, the channel stays sparse and
+        # first-order-dominated — the paper's structural assumption.
+        paths = trace_paths(
+            corridor(), (0.0, 0.0), (10.0, 0.0), max_order=2
+        )
+        strongest = max(paths, key=lambda p: p.power)
+        assert strongest.label == "los"

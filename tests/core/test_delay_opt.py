@@ -1,0 +1,103 @@
+"""Tests for true-time-delay optimization (Section 3.4, Figs. 7-8)."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import UniformLinearArray
+from repro.core.delay_opt import (
+    band_response_db,
+    build_delay_array,
+    compensating_delays,
+    flatness_db,
+)
+from repro.sim.scenarios import two_path_channel
+
+
+@pytest.fixture
+def array():
+    return UniformLinearArray(num_elements=8)
+
+
+class TestCompensatingDelays:
+    def test_equalizes_to_slowest_path(self):
+        delays = compensating_delays([10e-9, 15e-9, 12e-9])
+        assert delays == pytest.approx([5e-9, 0.0, 3e-9])
+
+    def test_all_non_negative(self):
+        delays = compensating_delays([3e-9, 7e-9])
+        assert np.all(delays >= 0)
+
+    def test_single_path_zero(self):
+        assert compensating_delays([5e-9]) == pytest.approx([0.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compensating_delays([])
+        with pytest.raises(ValueError):
+            compensating_delays([-1e-9])
+
+
+class TestDelayArrayResponse:
+    def run_case(self, array, excess_delay_s, compensate, delta_db=-3.0):
+        channel = two_path_channel(
+            array, delta_db=delta_db, excess_delay_s=excess_delay_s
+        )
+        dpa = build_delay_array(array, channel, 2, compensate=compensate)
+        freqs = np.linspace(-200e6, 200e6, 101)
+        return band_response_db(dpa, channel, freqs)
+
+    def test_compensated_response_is_flat(self, array):
+        # Paper Fig. 8: delay-optimized mmReliable is flat across the band.
+        for spread in (5e-9, 10e-9):
+            response = self.run_case(array, spread, compensate=True)
+            assert flatness_db(response) < 1.5
+
+    def test_uncompensated_response_notches(self, array):
+        # Without delay compensation a 5-10 ns spread creates deep notches
+        # (equal-strength paths cancel fully at the destructive
+        # frequencies; a weaker second path bounds the notch depth).
+        for spread in (5e-9, 10e-9):
+            response = self.run_case(
+                array, spread, compensate=False, delta_db=0.0
+            )
+            assert flatness_db(response) > 15.0
+
+    def test_compensation_helps_more_with_larger_spread(self, array):
+        ripple_5 = flatness_db(self.run_case(array, 5e-9, compensate=False))
+        ripple_compensated = flatness_db(
+            self.run_case(array, 5e-9, compensate=True)
+        )
+        assert ripple_compensated < ripple_5 / 4
+
+    def test_notch_count_scales_with_delay_spread(self, array):
+        # 10 ns spread -> notch spacing 100 MHz; 5 ns -> 200 MHz.
+        response_5 = self.run_case(array, 5e-9, compensate=False)
+        response_10 = self.run_case(array, 10e-9, compensate=False)
+
+        def count_notches(response):
+            threshold = np.median(response) - 6.0
+            below = response < threshold
+            # count rising edges of "below threshold" regions
+            return int(np.sum(np.diff(below.astype(int)) == 1) + below[0])
+
+        assert count_notches(response_10) > count_notches(response_5)
+
+
+class TestBuildDelayArray:
+    def test_requires_enough_paths(self, array):
+        channel = two_path_channel(array)
+        with pytest.raises(ValueError):
+            build_delay_array(array, channel, 3)
+        with pytest.raises(ValueError):
+            build_delay_array(array, channel, 0)
+
+    def test_compensated_delays_match_channel(self, array):
+        channel = two_path_channel(array, excess_delay_s=4e-9)
+        dpa = build_delay_array(array, channel, 2, compensate=True)
+        # LOS sub-array waits for the slower reflected path.
+        assert dpa.subarrays[0].delay_s == pytest.approx(4e-9)
+        assert dpa.subarrays[1].delay_s == pytest.approx(0.0)
+
+    def test_flatness_validation(self):
+        with pytest.raises(ValueError):
+            flatness_db(np.array([]))

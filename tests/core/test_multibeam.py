@@ -1,0 +1,163 @@
+"""Tests for constructive multi-beam synthesis (Eq. 10, Appendix A)."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import UniformLinearArray, WeightQuantizer, single_beam_weights
+from repro.core.multibeam import (
+    MultiBeam,
+    constructive_multibeam,
+    equal_split_probe_weights,
+    multibeam_from_channel,
+    optimal_mrt_weights,
+)
+from repro.sim.scenarios import three_path_channel, two_path_channel
+
+
+@pytest.fixture
+def array():
+    return UniformLinearArray(num_elements=8)
+
+
+def narrowband_snr(channel, weights):
+    """Received power at band center through given weights."""
+    response = np.sum(channel.beamformed_path_gains(np.asarray(weights)))
+    return abs(response) ** 2
+
+
+class TestConstructiveMultibeam:
+    def test_unit_norm(self, array):
+        w = constructive_multibeam(array, [0.0, 0.5], [1.0, 0.5j])
+        assert np.linalg.norm(w) == pytest.approx(1.0)
+
+    def test_single_beam_degenerate_case(self, array):
+        w = constructive_multibeam(array, [0.3], [1.0])
+        assert w == pytest.approx(single_beam_weights(array, 0.3))
+
+    def test_matches_mrt_for_two_path_channel(self, array):
+        channel = two_path_channel(array, delta_db=-3.0, sigma_rad=0.8)
+        genie = multibeam_from_channel(channel, 2)
+        w_multibeam = genie.weights().vector
+        w_mrt = optimal_mrt_weights(channel)
+        # Equal up to a global phase: |<a, b>| == 1.
+        overlap = abs(np.vdot(w_multibeam, w_mrt))
+        assert overlap == pytest.approx(1.0, abs=5e-3)
+
+    def test_snr_gain_follows_one_plus_delta_squared(self, array):
+        # Paper Eq. 9: SNR_multi / SNR_single = 1 + delta^2.
+        for delta_db in (-3.0, -6.0, -10.0):
+            channel = two_path_channel(array, delta_db=delta_db, sigma_rad=1.3)
+            single = narrowband_snr(channel, single_beam_weights(array, 0.0))
+            multi = narrowband_snr(
+                channel, multibeam_from_channel(channel, 2).weights().vector
+            )
+            delta_sq = 10 ** (delta_db / 10)
+            assert multi / single == pytest.approx(1 + delta_sq, rel=0.05)
+
+    def test_equal_paths_give_3db(self, array):
+        channel = two_path_channel(array, delta_db=0.0, sigma_rad=0.5)
+        single = narrowband_snr(channel, single_beam_weights(array, 0.0))
+        multi = narrowband_snr(
+            channel, multibeam_from_channel(channel, 2).weights().vector
+        )
+        assert 10 * np.log10(multi / single) == pytest.approx(3.0, abs=0.3)
+
+    def test_three_beam_beats_two_beam(self, array):
+        channel = three_path_channel(array)
+        two = narrowband_snr(
+            channel, multibeam_from_channel(channel, 2).weights().vector
+        )
+        three = narrowband_snr(
+            channel, multibeam_from_channel(channel, 3).weights().vector
+        )
+        assert three > two
+
+    def test_k_beams_on_k_paths_equals_mrt(self, array):
+        # Appendix A Eq. 30: B = L beams reach the optimum.
+        channel = three_path_channel(array)
+        three = narrowband_snr(
+            channel, multibeam_from_channel(channel, 3).weights().vector
+        )
+        mrt = narrowband_snr(channel, optimal_mrt_weights(channel))
+        assert three == pytest.approx(mrt, rel=2e-3)
+
+    def test_validation(self, array):
+        with pytest.raises(ValueError):
+            constructive_multibeam(array, [], [])
+        with pytest.raises(ValueError):
+            constructive_multibeam(array, [0.0], [1.0, 2.0])
+
+
+class TestMultiBeamDataclass:
+    def test_weights_quantized(self, array):
+        multibeam = MultiBeam(
+            array=array, angles_rad=(0.0, 0.5), relative_gains=(1.0, 0.4j)
+        )
+        quantizer = WeightQuantizer(phase_bits=6, amplitude_range_db=27.0)
+        weights = multibeam.weights(quantizer)
+        assert np.linalg.norm(weights.vector) == pytest.approx(1.0)
+
+    def test_with_angles(self, array):
+        multibeam = MultiBeam(
+            array=array, angles_rad=(0.0, 0.5), relative_gains=(1.0, 0.4)
+        )
+        updated = multibeam.with_angles((0.01, 0.52))
+        assert updated.angles_rad == (0.01, 0.52)
+        assert updated.relative_gains == multibeam.relative_gains
+
+    def test_without_beam_renormalizes(self, array):
+        multibeam = MultiBeam(
+            array=array,
+            angles_rad=(0.0, 0.5, -0.4),
+            relative_gains=(1.0, 0.5, 0.25),
+        )
+        dropped = multibeam.without_beam(0)
+        assert dropped.num_beams == 2
+        assert dropped.relative_gains[0] == pytest.approx(1.0)
+
+    def test_without_only_beam_rejected(self, array):
+        multibeam = MultiBeam(
+            array=array, angles_rad=(0.0,), relative_gains=(1.0,)
+        )
+        with pytest.raises(ValueError):
+            multibeam.without_beam(0)
+
+    def test_validation(self, array):
+        with pytest.raises(ValueError):
+            MultiBeam(array=array, angles_rad=(), relative_gains=())
+        with pytest.raises(ValueError):
+            MultiBeam(array=array, angles_rad=(0.0,), relative_gains=(0.0,))
+
+
+class TestEqualSplitProbeWeights:
+    def test_unit_norm_and_norm_factor(self, array):
+        weights, norm = equal_split_probe_weights(
+            array, (0.0, 0.5), (0.0, np.pi / 2)
+        )
+        assert np.linalg.norm(weights) == pytest.approx(1.0)
+        # Well-separated beams: norm ~ sqrt(2).
+        assert norm == pytest.approx(np.sqrt(2.0), rel=0.15)
+
+    def test_phase_applied_to_second_beam(self, array):
+        w0, _ = equal_split_probe_weights(array, (0.0, 0.5), (0.0, 0.0))
+        w1, _ = equal_split_probe_weights(array, (0.0, 0.5), (0.0, np.pi))
+        assert not np.allclose(w0, w1)
+
+    def test_validation(self, array):
+        with pytest.raises(ValueError):
+            equal_split_probe_weights(array, (0.0, 0.5), (0.0,))
+
+
+class TestOracle:
+    def test_mrt_is_best_of_all(self, array):
+        channel = three_path_channel(array)
+        mrt = narrowband_snr(channel, optimal_mrt_weights(channel))
+        for angle in np.linspace(-1.0, 1.0, 21):
+            assert mrt >= narrowband_snr(
+                channel, single_beam_weights(array, angle)
+            ) - 1e-12
+
+    def test_genie_multibeam_requires_beams(self, array):
+        channel = two_path_channel(array)
+        with pytest.raises(ValueError):
+            multibeam_from_channel(channel, 0)

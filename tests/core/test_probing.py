@@ -1,0 +1,151 @@
+"""Tests for the CFO-robust two-probe relative-gain estimator."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import UniformLinearArray
+from repro.channel.impairments import CfoSfoModel
+from repro.core.multibeam import multibeam_from_channel
+from repro.core.probing import (
+    ProbeController,
+    two_probe_ratio,
+    wideband_relative_gain,
+)
+from repro.phy.ofdm import ChannelSounder, OfdmConfig
+from repro.phy.reference_signals import ProbeBudget, ProbeKind
+from repro.sim.scenarios import three_path_channel, two_path_channel
+
+
+@pytest.fixture
+def array():
+    return UniformLinearArray(num_elements=8)
+
+
+class TestTwoProbeRatio:
+    def test_exact_on_synthetic_powers(self):
+        h1 = 1.3
+        h2 = 0.6 * np.exp(1j * 2.1)
+        p1, p2 = abs(h1) ** 2, abs(h2) ** 2
+        p3 = abs(h1 + h2) ** 2
+        p4 = abs(h1 + 1j * h2) ** 2
+        ratio = two_probe_ratio(p1, p2, p3, p4)
+        assert ratio == pytest.approx(h2 / h1, abs=1e-12)
+
+    def test_vectorized_over_subcarriers(self):
+        h1 = np.array([1.0, 2.0])
+        h2 = np.array([0.5j, -0.3])
+        ratio = two_probe_ratio(
+            np.abs(h1) ** 2,
+            np.abs(h2) ** 2,
+            np.abs(h1 + h2) ** 2,
+            np.abs(h1 + 1j * h2) ** 2,
+        )
+        assert ratio == pytest.approx(h2 / h1)
+
+    def test_zero_second_path(self):
+        ratio = two_probe_ratio(1.0, 0.0, 1.0, 1.0)
+        assert ratio == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            two_probe_ratio(0.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            two_probe_ratio(1.0, -1.0, 1.0, 1.0)
+
+
+class TestWidebandRelativeGain:
+    def test_flat_channel_reduces_to_ratio(self):
+        ratio = np.full(16, 0.5 * np.exp(1j * 0.7))
+        p1 = np.ones(16)
+        assert wideband_relative_gain(ratio, p1) == pytest.approx(ratio[0])
+
+    def test_weighting_favors_strong_subcarriers(self):
+        ratio = np.array([1.0 + 0j, 0.0 + 0j])
+        p1 = np.array([10.0, 1e-6])
+        assert wideband_relative_gain(ratio, p1) == pytest.approx(1.0, abs=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wideband_relative_gain(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            wideband_relative_gain(np.ones(2), np.zeros(2))
+
+
+class TestProbeController:
+    def estimate_for(self, array, channel, rng=0, cfo=False):
+        config = OfdmConfig(bandwidth_hz=100e6, num_subcarriers=64)
+        cfo_model = CfoSfoModel(rng=rng + 1000) if cfo else None
+        sounder = ChannelSounder(config=config, cfo_model=cfo_model, rng=rng)
+        controller = ProbeController(array=array, sounder=sounder)
+        angles = [p.aod_rad for p in channel.strongest_paths()]
+        return controller.estimate_relative_gains(channel, angles)
+
+    def test_recovers_delta_and_sigma(self, array):
+        channel = two_path_channel(array, delta_db=-4.0, sigma_rad=1.0)
+        estimate = self.estimate_for(array, channel)
+        genie = multibeam_from_channel(channel, 2)
+        true_gain = genie.relative_gains[1]
+        assert estimate.deltas[1] == pytest.approx(abs(true_gain), rel=0.15)
+        phase_error = np.angle(
+            estimate.relative_gains[1] / true_gain
+        )
+        assert abs(phase_error) < np.deg2rad(20.0)
+
+    def test_robust_to_cfo(self, array):
+        # The headline property: estimation from |h|^2 survives random
+        # per-probe phase rotations that break complex-ratio methods.
+        channel = two_path_channel(array, delta_db=-4.0, sigma_rad=1.0)
+        estimate = self.estimate_for(array, channel, cfo=True)
+        genie = multibeam_from_channel(channel, 2)
+        true_gain = genie.relative_gains[1]
+        phase_error = np.angle(estimate.relative_gains[1] / true_gain)
+        assert abs(phase_error) < np.deg2rad(25.0)
+        assert estimate.deltas[1] == pytest.approx(abs(true_gain), rel=0.2)
+
+    def test_probe_count_two_per_extra_beam(self, array):
+        channel = three_path_channel(array)
+        config = OfdmConfig(bandwidth_hz=100e6, num_subcarriers=64)
+        sounder = ChannelSounder(config=config, rng=0)
+        controller = ProbeController(array=array, sounder=sounder)
+        angles = [p.aod_rad for p in channel.strongest_paths()]
+        budget = ProbeBudget()
+        powers = controller.measure_reference_powers(
+            channel, angles, budget=budget
+        )
+        estimate = controller.estimate_relative_gains(
+            channel, angles, reference_powers=powers, budget=budget
+        )
+        # 2 extra probes per non-reference beam: 4 for the 3-beam case.
+        assert estimate.num_probes == 4
+        assert budget.total_probes(ProbeKind.CSI_RS) == 3 + 4
+
+    def test_reference_beam_gain_is_unity(self, array):
+        channel = two_path_channel(array)
+        estimate = self.estimate_for(array, channel)
+        assert estimate.relative_gains[0] == 1.0 + 0.0j
+
+    def test_estimated_multibeam_snr_near_genie(self, array):
+        # End goal: the estimated gains produce nearly the genie SNR.
+        channel = two_path_channel(array, delta_db=-3.0, sigma_rad=-0.7)
+        estimate = self.estimate_for(array, channel)
+        genie = multibeam_from_channel(channel, 2)
+        estimated = genie.with_relative_gains(estimate.relative_gains)
+
+        def power(multibeam):
+            response = np.sum(
+                channel.beamformed_path_gains(multibeam.weights().vector)
+            )
+            return abs(response) ** 2
+
+        assert power(estimated) >= 0.95 * power(genie)
+
+    def test_mismatched_reference_powers_rejected(self, array):
+        channel = two_path_channel(array)
+        config = OfdmConfig(num_subcarriers=16)
+        controller = ProbeController(
+            array=array, sounder=ChannelSounder(config=config, rng=0)
+        )
+        with pytest.raises(ValueError):
+            controller.estimate_relative_gains(
+                channel, [0.0, 0.5], reference_powers=[np.ones(16)]
+            )

@@ -1,0 +1,144 @@
+"""Tests for super-resolution per-beam gain estimation (Eq. 23)."""
+
+import numpy as np
+import pytest
+
+from repro.channel.wideband import sampled_cir
+from repro.core.superres import (
+    SuperResolver,
+    ridge_solve,
+    superres_gains,
+)
+
+
+BANDWIDTH = 400e6
+
+
+class TestRidgeSolve:
+    def test_exact_recovery_without_regularization(self):
+        s = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        alpha_true = np.array([1.0 + 1j, 2.0 - 0.5j])
+        y = s @ alpha_true
+        alpha = ridge_solve(s, y, regularization=0.0)
+        assert alpha == pytest.approx(alpha_true)
+
+    def test_regularization_shrinks(self):
+        s = np.eye(2)
+        y = np.array([1.0, 1.0], dtype=complex)
+        alpha = ridge_solve(s, y, regularization=1.0)
+        assert np.all(np.abs(alpha) < 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ridge_solve(np.eye(2), np.ones(3), 0.1)
+        with pytest.raises(ValueError):
+            ridge_solve(np.eye(2), np.ones(2), -0.1)
+
+
+class TestSuperresGains:
+    def test_on_grid_two_paths(self):
+        delays = [10 / BANDWIDTH, 14 / BANDWIDTH]
+        alphas_true = [1.0 + 0j, 0.4j]
+        cir = sampled_cir(alphas_true, delays, BANDWIDTH, 64)
+        alphas = superres_gains(cir, delays, BANDWIDTH, regularization=1e-6)
+        assert alphas == pytest.approx(alphas_true, abs=1e-6)
+
+    def test_below_resolution_separation(self):
+        # Paths 1 ns apart — well below the 2.5 ns resolution at 400 MHz.
+        delays = [25e-9, 26e-9]
+        alphas_true = [1.0, 0.5 * np.exp(1j * 1.0)]
+        cir = sampled_cir(alphas_true, delays, BANDWIDTH, 64)
+        alphas = superres_gains(cir, delays, BANDWIDTH, regularization=1e-6)
+        assert alphas == pytest.approx(alphas_true, rel=1e-3)
+
+
+class TestSuperResolver:
+    def make_cir(self, alphas, base_delay=25e-9, relative=(0.0, 1.2e-9)):
+        delays = [base_delay + r for r in relative]
+        return sampled_cir(alphas, delays, BANDWIDTH, 64)
+
+    def test_recovers_per_beam_power(self):
+        alphas_true = [1.0, 0.5 * np.exp(0.7j)]
+        resolver = SuperResolver(
+            bandwidth_hz=BANDWIDTH,
+            relative_delays_s=np.array([0.0, 1.2e-9]),
+            regularization=1e-4,
+            kernel="sinc",
+        )
+        result = resolver.estimate(self.make_cir(alphas_true))
+        powers = result.per_beam_power()
+        assert powers[0] == pytest.approx(1.0, rel=0.05)
+        assert powers[1] == pytest.approx(0.25, rel=0.1)
+
+    def test_tracks_anchor_drift(self):
+        # Absolute ToF moved (timing drift) but relative ToF held.
+        alphas_true = [1.0, 0.5]
+        resolver = SuperResolver(
+            bandwidth_hz=BANDWIDTH,
+            relative_delays_s=np.array([0.0, 1.2e-9]),
+            kernel="sinc",
+        )
+        for base in (20e-9, 30e-9, 40e-9):
+            result = resolver.estimate(
+                self.make_cir(alphas_true, base_delay=base)
+            )
+            assert result.per_beam_power()[0] == pytest.approx(1.0, rel=0.15)
+
+    def test_jitter_search_absorbs_small_tof_error(self):
+        # True relative ToF differs from the trained value by 0.4 ns.
+        alphas_true = [1.0, 0.6]
+        cir = self.make_cir(alphas_true, relative=(0.0, 1.6e-9))
+        resolver = SuperResolver(
+            bandwidth_hz=BANDWIDTH,
+            relative_delays_s=np.array([0.0, 1.2e-9]),
+            jitter_candidates=9,
+            jitter_span_s=1e-9,
+            kernel="sinc",
+        )
+        result = resolver.estimate(cir)
+        assert result.per_beam_power()[0] == pytest.approx(1.0, rel=0.2)
+        assert result.per_beam_power()[1] == pytest.approx(0.36, rel=0.35)
+
+    def test_active_subset_zeroes_inactive(self):
+        alphas_true = [0.0, 0.8]  # beam 0 dropped, beam 1 transmitting
+        cir = self.make_cir(alphas_true)
+        resolver = SuperResolver(
+            bandwidth_hz=BANDWIDTH,
+            relative_delays_s=np.array([0.0, 1.2e-9]),
+            kernel="sinc",
+        )
+        result = resolver.estimate(cir, active_indices=[1])
+        assert result.alphas[0] == 0.0
+        assert abs(result.alphas[1]) == pytest.approx(0.8, rel=0.05)
+
+    def test_power_db_floor(self):
+        resolver = SuperResolver(
+            bandwidth_hz=BANDWIDTH, relative_delays_s=np.array([0.0, 1.2e-9]),
+            kernel="sinc",
+        )
+        result = resolver.estimate(self.make_cir([1.0, 0.0]))
+        db = result.per_beam_power_db(floor_db=-100.0)
+        assert db[1] >= -100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SuperResolver(bandwidth_hz=0.0, relative_delays_s=np.array([0.0]))
+        with pytest.raises(ValueError):
+            SuperResolver(
+                bandwidth_hz=BANDWIDTH, relative_delays_s=np.array([1e-9])
+            )
+        resolver = SuperResolver(
+            bandwidth_hz=BANDWIDTH, relative_delays_s=np.array([0.0, 1e-9])
+        )
+        with pytest.raises(ValueError):
+            resolver.estimate(np.ones(1))
+        with pytest.raises(ValueError):
+            resolver.estimate(np.ones(16), active_indices=[])
+        with pytest.raises(IndexError):
+            resolver.estimate(np.ones(16), active_indices=[5])
+
+    def test_resolution_property(self):
+        resolver = SuperResolver(
+            bandwidth_hz=BANDWIDTH, relative_delays_s=np.array([0.0])
+        )
+        assert resolver.resolution_s() == pytest.approx(2.5e-9)

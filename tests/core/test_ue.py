@@ -1,0 +1,102 @@
+"""Tests for the multi-beam UE extension (Section 4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import ula_power_pattern
+from repro.core.ue import UeMisalignmentEstimator, associate_beams
+
+
+class TestAssociateBeams:
+    def test_matches_by_tof_rank(self):
+        gnb_delays = [10e-9, 14e-9]
+        ue_delays = [14.2e-9, 10.1e-9]  # same paths, observed swapped
+        pairs = associate_beams(gnb_delays, ue_delays)
+        assert pairs == [(0, 1), (1, 0)]
+
+    def test_identity_when_aligned(self):
+        pairs = associate_beams([1e-9, 2e-9, 3e-9], [1e-9, 2e-9, 3e-9])
+        assert pairs == [(0, 0), (1, 1), (2, 2)]
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            associate_beams([1e-9], [1e-9, 2e-9])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            associate_beams([], [])
+
+
+class TestRotationEstimation:
+    def test_roundtrip(self):
+        estimator = UeMisalignmentEstimator(gnb_elements=8, ue_elements=4)
+        angle_true = np.deg2rad(4.0)
+        drop_db = -10 * np.log10(ula_power_pattern(4, angle_true))
+        estimate = estimator.rotation_angle(drop_db)
+        assert estimate == pytest.approx(angle_true, abs=1e-6)
+
+    def test_zero_drop(self):
+        estimator = UeMisalignmentEstimator(gnb_elements=8, ue_elements=4)
+        assert estimator.rotation_angle(0.0) == 0.0
+
+    def test_rejects_negative_drop(self):
+        estimator = UeMisalignmentEstimator(gnb_elements=8, ue_elements=4)
+        with pytest.raises(ValueError):
+            estimator.rotation_angle(-1.0)
+
+
+class TestTranslationEstimation:
+    def test_roundtrip(self):
+        estimator = UeMisalignmentEstimator(gnb_elements=8, ue_elements=4)
+        angle_true = np.deg2rad(2.5)
+        # Translation misaligns both ends by the same angle: the measured
+        # drop is the sum of the two pattern losses.
+        drop_db = -10 * np.log10(
+            ula_power_pattern(8, angle_true) * ula_power_pattern(4, angle_true)
+        )
+        estimate = estimator.translation_angle(drop_db)
+        assert estimate == pytest.approx(angle_true, abs=1e-6)
+
+    def test_translation_drop_larger_than_rotation(self):
+        # The same physical angle costs more power under translation
+        # because both patterns contribute — so for a fixed measured drop
+        # the translation hypothesis infers a smaller angle.
+        estimator = UeMisalignmentEstimator(gnb_elements=8, ue_elements=8)
+        drop_db = 3.0
+        assert estimator.translation_angle(drop_db) < estimator.rotation_angle(
+            drop_db
+        )
+
+    def test_huge_drop_clamps(self):
+        estimator = UeMisalignmentEstimator(gnb_elements=8, ue_elements=4)
+        estimate = estimator.translation_angle(300.0)
+        assert np.isfinite(estimate)
+        assert estimate > 0
+
+
+class TestRealignmentPlan:
+    def test_translation_plan_counter_rotates(self):
+        estimator = UeMisalignmentEstimator(gnb_elements=8, ue_elements=4)
+        plan = estimator.realignment_plan(
+            association=[(0, 1), (1, 0)],
+            misalignment_rad=[0.01, 0.02],
+            motion="translation",
+        )
+        assert plan[0] == (0, 0.01, 1, -0.01)
+        assert plan[1] == (1, 0.02, 0, -0.02)
+
+    def test_rotation_plan_only_ue(self):
+        estimator = UeMisalignmentEstimator(gnb_elements=8, ue_elements=4)
+        plan = estimator.realignment_plan(
+            association=[(0, 0)], misalignment_rad=[0.05], motion="rotation"
+        )
+        assert plan[0] == (0, 0.0, 0, 0.05)
+
+    def test_validation(self):
+        estimator = UeMisalignmentEstimator(gnb_elements=8, ue_elements=4)
+        with pytest.raises(ValueError):
+            estimator.realignment_plan([(0, 0)], [0.1], motion="teleport")
+        with pytest.raises(ValueError):
+            estimator.realignment_plan([(0, 0)], [0.1, 0.2])
+        with pytest.raises(ValueError):
+            UeMisalignmentEstimator(gnb_elements=1, ue_elements=4)

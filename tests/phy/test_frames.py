@@ -1,0 +1,67 @@
+"""Tests for the NR frame schedule."""
+
+import numpy as np
+import pytest
+
+from repro.phy.frames import (
+    DEFAULT_SSB_PERIOD_S,
+    FrameSchedule,
+)
+
+
+class TestFrameSchedule:
+    def test_ssb_grid(self):
+        schedule = FrameSchedule()
+        times = schedule.ssb_times(0.1)
+        assert times == pytest.approx(np.arange(5) * DEFAULT_SSB_PERIOD_S)
+
+    def test_csi_rs_grid(self):
+        schedule = FrameSchedule(csi_rs_period_s=5e-3)
+        times = schedule.csi_rs_times(0.02)
+        assert times == pytest.approx([0.0, 0.005, 0.01, 0.015])
+
+    def test_next_csi_rs(self):
+        schedule = FrameSchedule(csi_rs_period_s=5e-3)
+        assert schedule.next_csi_rs(0.0) == pytest.approx(0.005)
+        assert schedule.next_csi_rs(0.0049) == pytest.approx(0.005)
+        assert schedule.next_csi_rs(0.005) == pytest.approx(0.010)
+
+    def test_burst_airtime_scaling(self):
+        schedule = FrameSchedule()
+        # Paper: a full 64-beam burst takes 5 ms.
+        assert schedule.ssb_burst_airtime_s(64) == pytest.approx(5e-3)
+        assert schedule.ssb_burst_airtime_s(32) == pytest.approx(2.5e-3)
+
+    def test_paper_25_percent_overhead(self):
+        # Section 2.2: 5 ms of SSBs every 20 ms is a 25% overhead.
+        schedule = FrameSchedule(ssb_period_s=20e-3)
+        assert schedule.training_overhead_fraction(64) == pytest.approx(0.25)
+
+    def test_stretched_period_drops_overhead(self):
+        # Section 5.2: extending SSB periodicity to 1 s -> ~0.5%.
+        schedule = FrameSchedule(ssb_period_s=1.0)
+        assert schedule.training_overhead_fraction(64) == pytest.approx(
+            0.005
+        )
+
+    def test_csi_rs_period_bounds(self):
+        with pytest.raises(ValueError):
+            FrameSchedule(csi_rs_period_s=0.1e-3)
+        with pytest.raises(ValueError):
+            FrameSchedule(csi_rs_period_s=100e-3)
+
+    def test_csi_rs_slot_alignment(self):
+        # 0.7 ms is not a whole number of 0.125 ms slots.
+        with pytest.raises(ValueError, match="whole number of slots"):
+            FrameSchedule(csi_rs_period_s=0.7e-3)
+
+    def test_validation(self):
+        schedule = FrameSchedule()
+        with pytest.raises(ValueError):
+            schedule.ssb_times(0.0)
+        with pytest.raises(ValueError):
+            schedule.csi_rs_times(-1.0)
+        with pytest.raises(ValueError):
+            schedule.ssb_burst_airtime_s(0)
+        with pytest.raises(ValueError):
+            FrameSchedule(ssb_period_s=0.0)

@@ -1,0 +1,81 @@
+"""Tests for outer-loop link adaptation."""
+
+import numpy as np
+import pytest
+
+from repro.phy.link_adaptation import (
+    OuterLoopLinkAdaptation,
+    block_error_probability,
+    simulate_olla,
+)
+from repro.phy.mcs import NR_MCS_TABLE
+
+
+class TestBlerModel:
+    def test_ten_percent_at_switching_point(self):
+        for entry in NR_MCS_TABLE:
+            assert block_error_probability(
+                entry.min_snr_db, entry
+            ) == pytest.approx(0.1, abs=0.02)
+
+    def test_monotone_decreasing_in_snr(self):
+        entry = NR_MCS_TABLE[5]
+        snrs = np.linspace(entry.min_snr_db - 5, entry.min_snr_db + 5, 21)
+        blers = [block_error_probability(s, entry) for s in snrs]
+        assert np.all(np.diff(blers) < 0)
+
+    def test_collapses_above_threshold(self):
+        entry = NR_MCS_TABLE[3]
+        assert block_error_probability(entry.min_snr_db + 3, entry) < 1e-2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_error_probability(10.0, NR_MCS_TABLE[0], slope=0.0)
+
+
+class TestOllaController:
+    def test_step_ratio_matches_target(self):
+        loop = OuterLoopLinkAdaptation(target_bler=0.1, step_up_db=0.9)
+        assert loop.step_down_db == pytest.approx(0.1)
+
+    def test_nack_raises_margin(self):
+        loop = OuterLoopLinkAdaptation()
+        loop.feedback(ack=False)
+        assert loop.margin_db > 0
+
+    def test_margin_clamped(self):
+        loop = OuterLoopLinkAdaptation(step_up_db=5.0, max_margin_db=10.0)
+        for _ in range(10):
+            loop.feedback(ack=False)
+        assert loop.margin_db == 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OuterLoopLinkAdaptation(target_bler=0.0)
+        with pytest.raises(ValueError):
+            OuterLoopLinkAdaptation(step_up_db=0.0)
+
+
+class TestClosedLoop:
+    def test_converges_to_target_bler(self):
+        loop = simulate_olla(true_snr_db=18.0, rng=0)
+        assert loop.measured_bler == pytest.approx(0.1, abs=0.04)
+
+    def test_absorbs_optimistic_cqi(self):
+        # A +3 dB optimistic channel report would wreck a naive selector;
+        # the outer loop absorbs it into the margin.
+        loop = simulate_olla(true_snr_db=18.0, cqi_bias_db=3.0, rng=1)
+        assert loop.measured_bler == pytest.approx(0.1, abs=0.05)
+        assert loop.margin_db > 1.0
+
+    def test_absorbs_pessimistic_cqi(self):
+        loop = simulate_olla(true_snr_db=18.0, cqi_bias_db=-3.0, rng=2)
+        assert loop.measured_bler == pytest.approx(0.1, abs=0.05)
+        assert loop.margin_db < -1.0
+
+    def test_different_targets(self):
+        strict = simulate_olla(
+            true_snr_db=18.0, target_bler=0.01, num_blocks=8000, rng=3
+        )
+        assert strict.measured_bler < 0.05
+        assert strict.measured_bler == pytest.approx(0.01, abs=0.015)

@@ -1,0 +1,86 @@
+"""Tests for the SNR -> MCS -> throughput mapping."""
+
+import numpy as np
+import pytest
+
+from repro.phy.mcs import (
+    NR_MCS_TABLE,
+    OUTAGE_SNR_DB,
+    is_outage,
+    select_mcs,
+    shannon_spectral_efficiency,
+    spectral_efficiency,
+    throughput_bps,
+)
+
+
+class TestMcsTable:
+    def test_thresholds_increase(self):
+        thresholds = [e.min_snr_db for e in NR_MCS_TABLE]
+        assert np.all(np.diff(thresholds) > 0)
+
+    def test_efficiency_increases(self):
+        efficiencies = [e.spectral_efficiency for e in NR_MCS_TABLE]
+        assert np.all(np.diff(efficiencies) > 0)
+
+    def test_lowest_mcs_at_outage_threshold(self):
+        assert NR_MCS_TABLE[0].min_snr_db == OUTAGE_SNR_DB
+
+    def test_efficiency_below_shannon(self):
+        # Every MCS must be decodable at its threshold: efficiency below
+        # capacity at the switching SNR.
+        for entry in NR_MCS_TABLE:
+            assert entry.spectral_efficiency < shannon_spectral_efficiency(
+                entry.min_snr_db
+            )
+
+
+class TestSelectMcs:
+    def test_outage_below_threshold(self):
+        assert select_mcs(OUTAGE_SNR_DB - 0.1) is None
+        assert is_outage(5.9)
+        assert not is_outage(6.0)
+
+    def test_lowest_at_threshold(self):
+        assert select_mcs(OUTAGE_SNR_DB).index == 0
+
+    def test_highest_at_high_snr(self):
+        assert select_mcs(40.0).index == NR_MCS_TABLE[-1].index
+
+    def test_monotone_in_snr(self):
+        indices = [
+            (select_mcs(snr).index if select_mcs(snr) else -1)
+            for snr in np.linspace(0, 35, 71)
+        ]
+        assert np.all(np.diff(indices) >= 0)
+
+
+class TestThroughput:
+    def test_zero_in_outage(self):
+        assert throughput_bps(0.0, 400e6) == 0.0
+        assert spectral_efficiency(3.0) == 0.0
+
+    def test_paper_regime(self):
+        # The paper reports ~1.5 b/s/Hz average: reachable in the table.
+        efficiencies = [e.spectral_efficiency for e in NR_MCS_TABLE]
+        assert min(efficiencies) < 1.0 < max(efficiencies)
+
+    def test_overhead_subtracts(self):
+        full = throughput_bps(20.0, 400e6)
+        with_overhead = throughput_bps(20.0, 400e6, overhead_fraction=0.25)
+        assert with_overhead == pytest.approx(0.75 * full)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            throughput_bps(20.0, 0.0)
+        with pytest.raises(ValueError):
+            throughput_bps(20.0, 1e6, overhead_fraction=1.0)
+
+
+class TestShannon:
+    def test_zero_snr(self):
+        assert shannon_spectral_efficiency(-np.inf) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        # SNR = 0 dB -> log2(2) = 1 b/s/Hz.
+        assert shannon_spectral_efficiency(0.0) == pytest.approx(1.0)

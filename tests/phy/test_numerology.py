@@ -1,0 +1,39 @@
+"""Tests for 5G NR numerology."""
+
+import pytest
+
+from repro.phy import FR2_120KHZ, Numerology
+
+
+class TestNumerology:
+    def test_fr2_subcarrier_spacing(self):
+        assert FR2_120KHZ.subcarrier_spacing_hz == pytest.approx(120e3)
+
+    def test_fr2_slot_duration(self):
+        # Paper: one CSI-RS slot is 0.125 ms at 120 kHz SCS.
+        assert FR2_120KHZ.slot_duration_s == pytest.approx(0.125e-3)
+
+    def test_fr2_symbol_duration(self):
+        # Paper: one CSI-RS symbol is 8.93 us at 120 kHz.
+        assert FR2_120KHZ.symbol_duration_s == pytest.approx(8.93e-6, rel=0.01)
+
+    def test_mu0_is_lte_like(self):
+        mu0 = Numerology(mu=0)
+        assert mu0.subcarrier_spacing_hz == pytest.approx(15e3)
+        assert mu0.slot_duration_s == pytest.approx(1e-3)
+
+    def test_slots_per_subframe(self):
+        assert Numerology(mu=3).slots_per_subframe == 8
+
+    def test_num_subcarriers(self):
+        assert FR2_120KHZ.num_subcarriers(400e6) == 3333
+
+    def test_rejects_bad_mu(self):
+        with pytest.raises(ValueError):
+            Numerology(mu=5)
+        with pytest.raises(ValueError):
+            Numerology(mu=-1)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            FR2_120KHZ.num_subcarriers(0.0)

@@ -1,0 +1,204 @@
+"""Tests for QAM constellations and the time-domain OFDM waveform layer."""
+
+import numpy as np
+import pytest
+
+from repro.phy.qam import (
+    MODULATION_BITS,
+    bit_error_rate,
+    constellation,
+    demodulate,
+    error_vector_magnitude,
+    evm_to_snr_db,
+    modulate,
+)
+from repro.phy.waveform import (
+    LinkResult,
+    OfdmWaveformConfig,
+    apply_multipath,
+    equalize,
+    ls_channel_estimate,
+    ofdm_demodulate,
+    ofdm_modulate,
+    run_ofdm_link,
+)
+
+
+class TestConstellations:
+    @pytest.mark.parametrize("modulation", sorted(MODULATION_BITS))
+    def test_unit_average_energy(self, modulation):
+        points = constellation(modulation)
+        assert np.mean(np.abs(points) ** 2) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("modulation", sorted(MODULATION_BITS))
+    def test_all_points_distinct(self, modulation):
+        points = constellation(modulation)
+        assert len(np.unique(np.round(points, 9))) == points.size
+
+    def test_constellation_sizes(self):
+        assert constellation("qpsk").size == 4
+        assert constellation("64qam").size == 64
+        assert constellation("256qam").size == 256
+
+    def test_gray_mapping_adjacent_i_rail(self):
+        # Adjacent I-levels at fixed Q differ in exactly one bit.
+        points = constellation("16qam")
+        bits = MODULATION_BITS["16qam"]
+        side_bits = bits // 2
+        for q in range(4):
+            # Collect labels sorted by their I coordinate at this Q label.
+            labels = [(i << side_bits) | q for i in range(4)]
+            ordered = sorted(labels, key=lambda l: points[l].real)
+            for a, b in zip(ordered, ordered[1:]):
+                assert bin(a ^ b).count("1") == 1
+
+    def test_unknown_modulation(self):
+        with pytest.raises(ValueError, match="qpsk"):
+            constellation("1024qam")
+
+
+class TestModulateDemodulate:
+    @pytest.mark.parametrize("modulation", sorted(MODULATION_BITS))
+    def test_roundtrip_noiseless(self, modulation):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 120 * MODULATION_BITS[modulation])
+        symbols = modulate(bits, modulation)
+        recovered = demodulate(symbols, modulation)
+        assert np.array_equal(bits, recovered)
+
+    def test_roundtrip_with_small_noise(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, 4000)
+        symbols = modulate(bits, "qpsk")
+        noisy = symbols + 0.05 * (
+            rng.normal(size=symbols.size) + 1j * rng.normal(size=symbols.size)
+        )
+        assert bit_error_rate(bits, demodulate(noisy, "qpsk")) == 0.0
+
+    def test_bit_count_validation(self):
+        with pytest.raises(ValueError):
+            modulate([0, 1, 1], "qpsk")
+        with pytest.raises(ValueError):
+            modulate([0, 2], "qpsk")
+
+
+class TestEvm:
+    def test_zero_for_perfect(self):
+        symbols = constellation("qpsk")
+        assert error_vector_magnitude(symbols, symbols) == 0.0
+
+    def test_matches_noise_level(self):
+        rng = np.random.default_rng(2)
+        reference = modulate(rng.integers(0, 2, 40000), "qpsk")
+        noise_std = 0.1
+        received = reference + noise_std * (
+            rng.normal(size=reference.size)
+            + 1j * rng.normal(size=reference.size)
+        ) / np.sqrt(2)
+        evm = error_vector_magnitude(received, reference)
+        assert evm == pytest.approx(noise_std, rel=0.05)
+        assert evm_to_snr_db(evm) == pytest.approx(20.0, abs=0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            error_vector_magnitude(np.ones(2), np.ones(3))
+        with pytest.raises(ValueError):
+            evm_to_snr_db(0.0)
+        with pytest.raises(ValueError):
+            bit_error_rate([], [])
+
+
+class TestOfdmWaveform:
+    def test_modulate_demodulate_roundtrip(self):
+        config = OfdmWaveformConfig(num_subcarriers=32, cyclic_prefix=4)
+        rng = np.random.default_rng(3)
+        grid = rng.normal(size=(3, 32)) + 1j * rng.normal(size=(3, 32))
+        samples = ofdm_modulate(grid, config)
+        assert samples.size == 3 * config.symbol_length
+        recovered = ofdm_demodulate(samples, config)
+        assert recovered == pytest.approx(grid)
+
+    def test_power_preserved(self):
+        config = OfdmWaveformConfig(num_subcarriers=64, cyclic_prefix=0)
+        rng = np.random.default_rng(4)
+        grid = (rng.normal(size=(1, 64)) + 1j * rng.normal(size=(1, 64)))
+        samples = ofdm_modulate(grid, config)
+        # Parseval with the sqrt(N) normalization.
+        assert np.sum(np.abs(samples) ** 2) == pytest.approx(
+            np.sum(np.abs(grid) ** 2)
+        )
+
+    def test_cp_makes_multipath_circular(self):
+        config = OfdmWaveformConfig(num_subcarriers=32, cyclic_prefix=8)
+        rng = np.random.default_rng(5)
+        grid = rng.normal(size=(2, 32)) + 1j * rng.normal(size=(2, 32))
+        taps = np.array([1.0, 0.0, 0.4 - 0.2j, 0.1j])
+        rx = apply_multipath(ofdm_modulate(grid, config), taps)
+        received = ofdm_demodulate(rx, config)
+        # With CP > channel memory, the channel is a pure per-subcarrier
+        # multiplication: the ratio must be identical across symbols.
+        ratio0 = received[0] / grid[0]
+        ratio1 = received[1] / grid[1]
+        assert ratio1 == pytest.approx(ratio0, rel=1e-9)
+
+    def test_validation(self):
+        config = OfdmWaveformConfig(num_subcarriers=32, cyclic_prefix=4)
+        with pytest.raises(ValueError):
+            ofdm_modulate(np.ones((1, 16)), config)
+        with pytest.raises(ValueError):
+            ofdm_demodulate(np.ones(17), config)
+        with pytest.raises(ValueError):
+            OfdmWaveformConfig(num_subcarriers=16, cyclic_prefix=16)
+        with pytest.raises(ValueError):
+            apply_multipath(np.ones(4), np.array([]))
+
+
+class TestChannelEstimation:
+    def test_ls_estimate_exact(self):
+        rng = np.random.default_rng(6)
+        tx = np.exp(1j * 2 * np.pi * rng.random(16))
+        h = rng.normal(size=16) + 1j * rng.normal(size=16)
+        assert ls_channel_estimate(tx * h, tx) == pytest.approx(h)
+
+    def test_equalize_inverts_channel(self):
+        rng = np.random.default_rng(7)
+        h = rng.normal(size=8) + 1j * rng.normal(size=8)
+        data = rng.normal(size=(2, 8)) + 1j * rng.normal(size=(2, 8))
+        assert equalize(data * h, h) == pytest.approx(data)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ls_channel_estimate(np.ones(4), np.ones(5))
+        with pytest.raises(ValueError):
+            ls_channel_estimate(np.ones(4), np.zeros(4))
+        with pytest.raises(ValueError):
+            equalize(np.ones((1, 4)), np.ones(5))
+
+
+class TestEndToEndLink:
+    def test_noiseless_link_is_error_free(self):
+        taps = np.array([1.0, 0.3 - 0.1j, 0.05j])
+        result = run_ofdm_link(taps, modulation="64qam", rng=0)
+        assert isinstance(result, LinkResult)
+        assert result.bit_error_rate == 0.0
+        assert result.evm < 1e-9
+
+    def test_noisy_link_reports_sane_snr(self):
+        taps = np.array([1.0])
+        noise_power = 10 ** (-20 / 10)  # 20 dB SNR at unit signal power
+        result = run_ofdm_link(
+            taps, modulation="qpsk", noise_power=noise_power,
+            num_data_symbols=16, rng=1,
+        )
+        assert result.bit_error_rate < 1e-2
+        # Effective SNR is 3 dB below the channel SNR: the single-pilot
+        # LS channel estimate contributes noise equal to the data noise.
+        assert result.snr_estimate_db == pytest.approx(17.0, abs=2.0)
+
+    def test_low_snr_causes_errors_in_dense_qam(self):
+        taps = np.array([1.0])
+        result = run_ofdm_link(
+            taps, modulation="256qam", noise_power=10 ** (-12 / 10),
+            num_data_symbols=8, rng=2,
+        )
+        assert result.bit_error_rate > 0.01

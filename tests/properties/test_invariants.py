@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These pin down the algebraic guarantees the paper's derivations rest on:
+TRP conservation, optimality of constructive combining, exactness of the
+two-probe estimator, and monotonicity of the reliability model.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays import UniformLinearArray, WeightQuantizer, single_beam_weights
+from repro.arrays.patterns import first_null_offset, invert_pattern_offset, ula_power_pattern
+from repro.core.multibeam import constructive_multibeam, optimal_mrt_weights
+from repro.core.probing import two_probe_ratio
+from repro.core.superres import ridge_solve
+from repro.sim.metrics import (
+    analytic_multibeam_reliability,
+    analytic_single_beam_reliability,
+)
+from repro.sim.scenarios import two_path_channel
+from repro.utils import wrap_angle, wrap_phase
+
+ARRAY = UniformLinearArray(num_elements=8)
+
+angles = st.floats(
+    min_value=-1.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+phases = st.floats(
+    min_value=0.0, max_value=2 * np.pi - 1e-9, allow_nan=False
+)
+amplitudes = st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
+
+
+class TestWeightInvariants:
+    @given(angle=angles)
+    def test_single_beam_always_unit_norm(self, angle):
+        w = single_beam_weights(ARRAY, angle)
+        assert np.linalg.norm(w) == pytest.approx(1.0)
+
+    @given(a1=angles, a2=angles, delta=amplitudes, sigma=phases)
+    def test_constructive_multibeam_unit_norm(self, a1, a2, delta, sigma):
+        gains = [1.0, delta * np.exp(1j * sigma)]
+        w = constructive_multibeam(ARRAY, [a1, a2], gains)
+        assert np.linalg.norm(w) == pytest.approx(1.0)
+
+    @given(angle=angles, bits=st.integers(min_value=2, max_value=8))
+    def test_quantizer_preserves_trp(self, angle, bits):
+        from repro.arrays import BeamWeights
+
+        quantizer = WeightQuantizer(phase_bits=bits, amplitude_range_db=27.0)
+        beam = quantizer.apply(BeamWeights(single_beam_weights(ARRAY, angle)))
+        assert np.linalg.norm(beam.vector) == pytest.approx(1.0)
+
+
+class TestOptimalityInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        delta_db=st.floats(min_value=-20.0, max_value=0.0),
+        sigma=phases,
+        nlos=st.floats(min_value=0.2, max_value=1.0),
+    )
+    def test_multibeam_never_below_single_beam_at_band_center(
+        self, delta_db, sigma, nlos
+    ):
+        """Section 3.2: optimal multi-beam SNR >= single-beam SNR, always."""
+        channel = two_path_channel(
+            ARRAY, nlos_angle_rad=nlos, delta_db=delta_db, sigma_rad=sigma
+        )
+        w_single = single_beam_weights(ARRAY, 0.0)
+        w_mrt = optimal_mrt_weights(channel)
+
+        def center_power(weights):
+            return abs(np.sum(channel.beamformed_path_gains(weights))) ** 2
+
+        assert center_power(w_mrt) >= center_power(w_single) * (1 - 1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        delta_db=st.floats(min_value=-15.0, max_value=0.0),
+        sigma=phases,
+    )
+    def test_mrt_snr_follows_one_plus_delta_squared(self, delta_db, sigma):
+        channel = two_path_channel(
+            ARRAY, delta_db=delta_db, sigma_rad=sigma
+        )
+        w_single = single_beam_weights(ARRAY, 0.0)
+        w_mrt = optimal_mrt_weights(channel)
+
+        def center_power(weights):
+            return abs(np.sum(channel.beamformed_path_gains(weights))) ** 2
+
+        gain = center_power(w_mrt) / center_power(w_single)
+        expected = 1 + 10 ** (delta_db / 10)
+        # Beam sidelobe interactions allow small deviations.
+        assert gain == pytest.approx(expected, rel=0.1)
+
+
+class TestTwoProbeInvariants:
+    @given(
+        h1=st.floats(min_value=0.1, max_value=10.0),
+        delta=amplitudes,
+        sigma=phases,
+    )
+    def test_two_probe_ratio_exact(self, h1, delta, sigma):
+        """Eq. 12 is algebraically exact for any noiseless channel pair."""
+        h2 = h1 * delta * np.exp(1j * sigma)
+        ratio = two_probe_ratio(
+            abs(h1) ** 2,
+            abs(h2) ** 2,
+            abs(h1 + h2) ** 2,
+            abs(h1 + 1j * h2) ** 2,
+        )
+        assert ratio == pytest.approx(h2 / h1, abs=1e-9)
+
+
+class TestPatternInvariants:
+    @given(offset_fraction=st.floats(min_value=0.01, max_value=0.9))
+    def test_pattern_inverse_roundtrip(self, offset_fraction):
+        offset = offset_fraction * first_null_offset(8) * 0.999
+        power = ula_power_pattern(8, offset)
+        if power <= 0:
+            return  # numerically at the null; nothing to invert
+        drop_db = -10 * np.log10(power)
+        recovered = invert_pattern_offset(8, drop_db)
+        assert recovered == pytest.approx(offset, abs=1e-6)
+
+
+class TestReliabilityModel:
+    @given(
+        beta=st.floats(min_value=0.0, max_value=1.0),
+        k=st.integers(min_value=2, max_value=6),
+    )
+    def test_multibeam_at_least_single(self, beta, k):
+        assert analytic_multibeam_reliability(
+            beta, k
+        ) >= analytic_single_beam_reliability(beta) - 1e-12
+
+    @given(beta=st.floats(min_value=0.01, max_value=0.99))
+    def test_strictly_better_for_interior_beta(self, beta):
+        assert analytic_multibeam_reliability(
+            beta, 2
+        ) > analytic_single_beam_reliability(beta)
+
+
+class TestRidgeInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        scale=st.floats(min_value=1e-6, max_value=1e3),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_ridge_solution_scales_linearly(self, scale, seed):
+        rng = np.random.default_rng(seed)
+        s = rng.normal(size=(16, 3))
+        y = rng.normal(size=16) + 1j * rng.normal(size=16)
+        base = ridge_solve(s, y, 1e-3)
+        scaled = ridge_solve(s, y * scale, 1e-3)
+        assert scaled == pytest.approx(base * scale, rel=1e-8)
+
+
+class TestAngleWrapInvariants:
+    @given(angle=st.floats(min_value=-100.0, max_value=100.0))
+    def test_wrap_angle_in_range(self, angle):
+        wrapped = wrap_angle(angle)
+        assert -np.pi < wrapped <= np.pi + 1e-12
+        # Wrapping preserves the angle modulo 2 pi.
+        assert np.cos(wrapped) == pytest.approx(np.cos(angle), abs=1e-9)
+        assert np.sin(wrapped) == pytest.approx(np.sin(angle), abs=1e-9)
+
+    @given(phase=st.floats(min_value=-100.0, max_value=100.0))
+    def test_wrap_phase_in_range(self, phase):
+        wrapped = wrap_phase(phase)
+        assert 0.0 <= wrapped < 2 * np.pi

@@ -1,0 +1,125 @@
+"""Additional property-based tests: wideband, delays, blockage, QAM."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.blockage import BlockageEvent, BlockageSchedule
+from repro.channel.wideband import (
+    cir_from_frequency_response,
+    dirichlet_dictionary,
+    ofdm_frequency_grid,
+)
+from repro.core.delay_opt import compensating_delays
+from repro.phy.qam import MODULATION_BITS, demodulate, modulate
+from repro.phy.waveform import OfdmWaveformConfig, ofdm_demodulate, ofdm_modulate
+
+
+class TestWidebandRoundtrip:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        delay_taps=st.floats(min_value=0.0, max_value=20.0),
+        magnitude=st.floats(min_value=0.1, max_value=10.0),
+        phase=st.floats(min_value=0.0, max_value=2 * np.pi),
+    )
+    def test_dirichlet_dictionary_matches_ifft(
+        self, delay_taps, magnitude, phase
+    ):
+        """The dictionary column IS the IFFT of the path's response."""
+        bandwidth, n = 400e6, 64
+        delay = delay_taps / bandwidth
+        alpha = magnitude * np.exp(1j * phase)
+        freqs = ofdm_frequency_grid(bandwidth, n)
+        cir = cir_from_frequency_response(
+            alpha * np.exp(-2j * np.pi * freqs * delay)
+        )
+        column = dirichlet_dictionary([delay], bandwidth, n)[:, 0]
+        assert cir == pytest.approx(alpha * column, rel=1e-9, abs=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_cir_preserves_energy(self, seed):
+        """Parseval: IFFT of the response conserves energy (up to 1/N)."""
+        rng = np.random.default_rng(seed)
+        response = rng.normal(size=32) + 1j * rng.normal(size=32)
+        cir = cir_from_frequency_response(response)
+        assert np.sum(np.abs(cir) ** 2) * 32 == pytest.approx(
+            np.sum(np.abs(response) ** 2)
+        )
+
+
+class TestDelayCompensation:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        delays=st.lists(
+            st.floats(min_value=0.0, max_value=100e-9),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_compensation_equalizes_arrivals(self, delays):
+        compensation = compensating_delays(delays)
+        arrivals = np.asarray(delays) + compensation
+        assert np.all(compensation >= 0)
+        assert arrivals == pytest.approx(np.full(len(delays), max(delays)))
+
+
+class TestBlockageInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        start=st.floats(min_value=0.0, max_value=1.0),
+        duration=st.floats(min_value=1e-3, max_value=0.5),
+        depth=st.floats(min_value=0.0, max_value=40.0),
+        t=st.floats(min_value=-0.5, max_value=2.0),
+    )
+    def test_attenuation_bounded_by_depth(self, start, duration, depth, t):
+        event = BlockageEvent(
+            path_index=0, start_s=start, duration_s=duration, depth_db=depth
+        )
+        attenuation = event.attenuation_db(t)
+        assert 0.0 <= attenuation <= depth + 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        t=st.floats(min_value=0.0, max_value=1.0),
+        num_paths=st.integers(min_value=1, max_value=4),
+    )
+    def test_amplitude_factors_in_unit_interval(self, t, num_paths):
+        schedule = BlockageSchedule(
+            events=(
+                BlockageEvent(path_index=0, start_s=0.2, duration_s=0.3,
+                              depth_db=26.0),
+            )
+        )
+        factors = schedule.amplitude_factors(t, num_paths)
+        assert np.all(factors > 0.0)
+        assert np.all(factors <= 1.0)
+
+
+class TestQamRoundtrip:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        modulation=st.sampled_from(sorted(MODULATION_BITS)),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_modulate_demodulate_identity(self, modulation, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, 16 * MODULATION_BITS[modulation])
+        assert np.array_equal(
+            demodulate(modulate(bits, modulation), modulation), bits
+        )
+
+
+class TestOfdmWaveformRoundtrip:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        cp=st.integers(min_value=0, max_value=15),
+    )
+    def test_modulate_demodulate_identity(self, seed, cp):
+        config = OfdmWaveformConfig(num_subcarriers=32, cyclic_prefix=cp)
+        rng = np.random.default_rng(seed)
+        grid = rng.normal(size=(2, 32)) + 1j * rng.normal(size=(2, 32))
+        recovered = ofdm_demodulate(ofdm_modulate(grid, config), config)
+        assert recovered == pytest.approx(grid)

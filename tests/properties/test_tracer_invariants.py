@@ -1,0 +1,79 @@
+"""Property-based tests for the image-method ray tracer."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.channel.environment import Reflector
+from repro.utils import SPEED_OF_LIGHT
+
+coords = st.floats(min_value=-20.0, max_value=20.0, allow_nan=False)
+
+
+@st.composite
+def wall_and_endpoints(draw):
+    """A horizontal wall with tx/rx strictly below it."""
+    wall_y = draw(st.floats(min_value=1.0, max_value=15.0))
+    x0 = draw(st.floats(min_value=-30.0, max_value=-21.0))
+    x1 = draw(st.floats(min_value=21.0, max_value=30.0))
+    tx = (draw(coords), draw(st.floats(min_value=-10.0, max_value=wall_y - 1.0)))
+    rx = (draw(coords), draw(st.floats(min_value=-10.0, max_value=wall_y - 1.0)))
+    assume(abs(tx[0] - rx[0]) > 0.5 or abs(tx[1] - rx[1]) > 0.5)
+    wall = Reflector(start=(x0, wall_y), end=(x1, wall_y), material="metal")
+    return wall, np.asarray(tx), np.asarray(rx)
+
+
+class TestReflectionLaw:
+    @settings(max_examples=60, deadline=None)
+    @given(case=wall_and_endpoints())
+    def test_angle_in_equals_angle_out(self, case):
+        wall, tx, rx = case
+        spec = wall.specular_point(tx, rx)
+        assume(spec is not None)
+        incoming = spec - tx
+        outgoing = rx - spec
+        # Horizontal wall: the tangential (x) components keep their
+        # ratio, the normal (y) components mirror.
+        angle_in = np.arctan2(incoming[1], incoming[0])
+        angle_out = np.arctan2(-outgoing[1], outgoing[0])
+        assert angle_in == pytest.approx(angle_out, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(case=wall_and_endpoints())
+    def test_path_length_equals_image_distance(self, case):
+        wall, tx, rx = case
+        spec = wall.specular_point(tx, rx)
+        assume(spec is not None)
+        bounce_length = np.linalg.norm(spec - tx) + np.linalg.norm(rx - spec)
+        image = wall.mirror_point(rx)
+        assert bounce_length == pytest.approx(
+            np.linalg.norm(image - tx), rel=1e-9
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(case=wall_and_endpoints())
+    def test_specular_point_on_wall(self, case):
+        wall, tx, rx = case
+        spec = wall.specular_point(tx, rx)
+        assume(spec is not None)
+        assert spec[1] == pytest.approx(wall.start[1])
+        assert min(wall.start[0], wall.end[0]) <= spec[0] <= max(
+            wall.start[0], wall.end[0]
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(case=wall_and_endpoints())
+    def test_mirror_is_involution(self, case):
+        wall, tx, _rx = case
+        assert wall.mirror_point(wall.mirror_point(tx)) == pytest.approx(tx)
+
+    @settings(max_examples=40, deadline=None)
+    @given(case=wall_and_endpoints())
+    def test_bounce_always_longer_than_direct(self, case):
+        wall, tx, rx = case
+        spec = wall.specular_point(tx, rx)
+        assume(spec is not None)
+        direct = np.linalg.norm(rx - tx)
+        bounce = np.linalg.norm(spec - tx) + np.linalg.norm(rx - spec)
+        assert bounce >= direct - 1e-12

@@ -1,0 +1,73 @@
+"""Tests for CSV trace/metrics export."""
+
+import numpy as np
+import pytest
+
+from repro.sim.export import (
+    METRICS_COLUMNS,
+    TRACE_COLUMNS,
+    metrics_to_csv,
+    trace_to_csv,
+)
+from repro.sim.link import SimulationTrace
+from repro.sim.metrics import LinkMetrics
+
+
+def make_trace():
+    times = np.linspace(0.0, 0.01, 11)
+    snr = np.full(11, 20.0)
+    snr[3] = 2.0  # one outage sample
+    return SimulationTrace(
+        times_s=times,
+        snr_db=snr,
+        actions=((0.005, "reprobe"),),
+        training_windows=((0.0, 0.005),),
+        training_rounds=1,
+        probe_airtime_s=1e-3,
+        bandwidth_hz=400e6,
+    )
+
+
+class TestTraceCsv:
+    def test_header_and_rows(self):
+        text = trace_to_csv(make_trace())
+        lines = text.strip().splitlines()
+        assert lines[0] == ",".join(TRACE_COLUMNS)
+        assert len(lines) == 12  # header + 11 samples
+
+    def test_outage_flag(self):
+        lines = trace_to_csv(make_trace()).strip().splitlines()
+        flags = [int(line.split(",")[-1]) for line in lines[1:]]
+        assert sum(flags) == 1
+        assert flags[3] == 1
+
+    def test_spectral_efficiency_column(self):
+        lines = trace_to_csv(make_trace()).strip().splitlines()
+        efficiency = float(lines[1].split(",")[2])
+        assert efficiency > 0
+
+
+class TestMetricsCsv:
+    def make_metrics(self):
+        trace = make_trace()
+        return trace.metrics()
+
+    def test_table(self):
+        text = metrics_to_csv(
+            [("mmreliable", self.make_metrics()), ("reactive", self.make_metrics())]
+        )
+        lines = text.strip().splitlines()
+        assert lines[0] == ",".join(METRICS_COLUMNS)
+        assert len(lines) == 3
+        assert lines[1].startswith("mmreliable,")
+
+    def test_roundtrippable_values(self):
+        metrics = self.make_metrics()
+        text = metrics_to_csv([("x", metrics)])
+        row = text.strip().splitlines()[1].split(",")
+        assert float(row[1]) == pytest.approx(metrics.reliability, abs=1e-6)
+        assert int(row[6]) == metrics.training_rounds
+
+    def test_type_error(self):
+        with pytest.raises(TypeError):
+            metrics_to_csv([("x", object())])

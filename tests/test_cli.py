@@ -1,0 +1,64 @@
+"""Tests for the CLI and experiment registry."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, command_list, command_run
+from repro.experiments.registry import (
+    REGISTRY,
+    experiment_ids,
+    get_experiment,
+)
+
+
+class TestRegistry:
+    def test_all_paper_figures_registered(self):
+        ids = experiment_ids()
+        for expected in (
+            "fig04", "fig08", "fig11", "fig14", "fig15", "fig16",
+            "fig17", "fig18", "fig19", "reliability", "ablations",
+        ):
+            assert expected in ids
+
+    def test_get_experiment(self):
+        experiment = get_experiment("fig14")
+        assert "Fig. 14" in experiment.title
+
+    def test_unknown_experiment_lists_known(self):
+        with pytest.raises(KeyError, match="fig14"):
+            get_experiment("fig99")
+
+    def test_entries_are_callable(self):
+        for experiment in REGISTRY.values():
+            assert callable(experiment.run_report)
+
+
+class TestCli:
+    def test_list(self):
+        out = io.StringIO()
+        assert command_list(out=out) == 0
+        text = out.getvalue()
+        assert "fig14" in text
+        assert "Fig. 18" in text
+
+    def test_run_fast_experiment(self):
+        out = io.StringIO()
+        assert command_run("reliability", out=out) == 0
+        text = out.getvalue()
+        assert "reliability model" in text
+        assert "completed in" in text
+
+    def test_run_unknown(self):
+        out = io.StringIO()
+        assert command_run("fig99", out=out) == 2
+        assert "error" in out.getvalue()
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parser_run(self):
+        arguments = build_parser().parse_args(["run", "fig14"])
+        assert arguments.command == "run"
+        assert arguments.experiment == "fig14"

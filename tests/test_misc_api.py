@@ -1,0 +1,74 @@
+"""Tests for small public API surfaces not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.channel.environment import Environment, Reflector
+from repro.experiments.common import format_series, make_manager
+from repro.sim.scenarios import GeometricScenario
+from repro.channel.mobility import StaticPose
+
+
+class TestFormatSeries:
+    def test_renders_rows(self):
+        text = format_series(
+            "snr vs angle", [0.0, 1.0, 2.0], [10.0, 20.0, 30.0],
+            unit_x="deg", unit_y="dB",
+        )
+        assert "snr vs angle" in text
+        assert "deg" in text and "dB" in text
+        assert len(text.splitlines()) == 4  # header + 3 rows
+
+    def test_decimates_long_series(self):
+        xs = np.arange(100)
+        text = format_series("long", xs, xs, max_rows=10)
+        assert len(text.splitlines()) <= 12
+
+
+class TestEnvironmentTraceMethod:
+    def test_delegates_to_trace_paths(self):
+        wall = Reflector(start=(-10.0, 4.0), end=(10.0, 4.0),
+                         material="metal")
+        env = Environment(reflectors=(wall,))
+        paths = env.trace((0.0, 0.0), (8.0, 0.0), tx_boresight_rad=0.0,
+                          rx_boresight_rad=np.pi)
+        labels = sorted(p.label for p in paths)
+        assert labels == ["los", "reflection:metal"]
+
+
+class TestMakeManagerFactory:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown manager kind"):
+            make_manager("psychic", 0)
+
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            "mmreliable", "mmreliable-static", "mmreliable-nocc",
+            "mmreliable-notrack-nocc", "reactive", "beamspy", "widebeam",
+            "oracle",
+        ],
+    )
+    def test_all_kinds_construct(self, kind):
+        manager = make_manager(kind, 0)
+        assert manager is not None
+
+
+class TestGeometricScenarioName:
+    def test_scenario_carries_name(self):
+        wall = Reflector(start=(-10.0, 4.0), end=(10.0, 4.0))
+        env = Environment(reflectors=(wall,))
+        from repro.arrays import UniformLinearArray
+
+        scenario = GeometricScenario(
+            environment=env,
+            array=UniformLinearArray(num_elements=8),
+            tx_position=(0.0, 0.0),
+            trajectory=StaticPose(position=(8.0, 0.0),
+                                  orientation_rad=np.pi),
+            tx_boresight_rad=0.0,
+            name="street",
+        )
+        assert scenario.name == "street"
+        channel = scenario.channel_at(0.0)
+        assert channel.num_paths >= 1

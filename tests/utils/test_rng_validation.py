@@ -1,0 +1,65 @@
+"""Tests for repro.utils.rng and repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils import check_array_1d, check_in_range, check_positive, ensure_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert a == pytest.approx(b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(1)
+        assert ensure_rng(rng) is rng
+
+    def test_numpy_integer_seed(self):
+        rng = ensure_rng(np.int64(7))
+        assert isinstance(rng, np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1.5)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -2)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        check_in_range("x", 0.0, 0.0, 1.0)
+        check_in_range("x", 1.0, 0.0, 1.0)
+
+    def test_exclusive_bounds_reject_edges(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError, match="must be in"):
+            check_in_range("x", 2.0, 0.0, 1.0)
+
+
+class TestCheckArray1d:
+    def test_accepts_list(self):
+        out = check_array_1d("x", [1, 2, 3])
+        assert out.shape == (3,)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            check_array_1d("x", np.zeros((2, 2)))

@@ -1,0 +1,75 @@
+"""Tests for repro.utils.units conversions."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    SPEED_OF_LIGHT,
+    db_to_linear,
+    dbm_to_watt,
+    linear_to_db,
+    power_db_to_linear,
+    power_linear_to_db,
+    watt_to_dbm,
+    wavelength,
+)
+
+
+class TestAmplitudeConversions:
+    def test_zero_db_is_unity(self):
+        assert db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_six_db_doubles_amplitude(self):
+        assert db_to_linear(20.0 * np.log10(2.0)) == pytest.approx(2.0)
+
+    def test_roundtrip(self):
+        values = np.array([0.1, 1.0, 3.7, 250.0])
+        assert linear_to_db(db_to_linear(linear_to_db(values))) == pytest.approx(
+            linear_to_db(values)
+        )
+
+    def test_array_input(self):
+        out = db_to_linear(np.array([0.0, 20.0]))
+        assert out == pytest.approx([1.0, 10.0])
+
+
+class TestPowerConversions:
+    def test_three_db_doubles_power(self):
+        assert power_db_to_linear(10.0 * np.log10(2.0)) == pytest.approx(2.0)
+
+    def test_ten_db_is_factor_ten(self):
+        assert power_db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_roundtrip(self):
+        assert power_linear_to_db(power_db_to_linear(7.3)) == pytest.approx(7.3)
+
+    def test_amplitude_and_power_rules_differ(self):
+        # 20 dB is amplitude x10 but power x100.
+        assert db_to_linear(20.0) == pytest.approx(10.0)
+        assert power_db_to_linear(20.0) == pytest.approx(100.0)
+
+
+class TestDbm:
+    def test_30_dbm_is_one_watt(self):
+        assert dbm_to_watt(30.0) == pytest.approx(1.0)
+
+    def test_0_dbm_is_one_milliwatt(self):
+        assert dbm_to_watt(0.0) == pytest.approx(1e-3)
+
+    def test_roundtrip(self):
+        assert watt_to_dbm(dbm_to_watt(17.0)) == pytest.approx(17.0)
+
+
+class TestWavelength:
+    def test_28ghz_wavelength(self):
+        assert wavelength(28e9) == pytest.approx(SPEED_OF_LIGHT / 28e9)
+        assert wavelength(28e9) == pytest.approx(0.0107, abs=1e-4)
+
+    def test_60ghz_shorter_than_28ghz(self):
+        assert wavelength(60e9) < wavelength(28e9)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            wavelength(0.0)
+        with pytest.raises(ValueError):
+            wavelength(-1e9)
