@@ -1,0 +1,61 @@
+"""Bench: ensemble executor throughput, serial vs parallel.
+
+Records the wall time of a 16-seed Fig.-18-style ensemble on the serial
+path and on a 4-worker process pool, so ``BENCH_*.json`` tracks ensemble
+throughput over time (``extra_info`` carries both wall times and the
+pool utilization).  On a single-core runner the pool adds overhead
+rather than speedup — the numbers are recorded, not asserted — but the
+parallel path must reproduce the serial metrics bitwise.
+"""
+
+import time
+from functools import partial
+
+from repro.experiments.common import make_manager
+from repro.experiments.fig18_end2end import _mobile_scenario
+from repro.sim.executor import EnsembleSpec, execute_ensemble
+
+SPEC = EnsembleSpec(
+    label="mmreliable",
+    scenario_factory=partial(
+        _mobile_scenario, speed_mps=1.5, blockage_depth_db=30.0,
+        distance_m=25.0,
+    ),
+    manager_factory=partial(make_manager, "mmreliable"),
+    seeds=tuple(range(16)),
+    duration_s=0.25,
+)
+
+
+def test_executor_serial_vs_parallel(benchmark, once, capsys):
+    started = time.perf_counter()
+    serial = execute_ensemble(SPEC)
+    serial_wall_s = time.perf_counter() - started
+
+    parallel = once(
+        benchmark, execute_ensemble, SPEC.with_options(workers=4)
+    )
+
+    # The whole point of the pool: identical per-seed metrics.
+    assert parallel.metrics == serial.metrics
+    assert parallel.stats.backend == "process"
+    assert parallel.stats.total_runs == 16
+    assert parallel.stats.failed_runs == 0
+
+    benchmark.extra_info["serial_wall_s"] = round(serial_wall_s, 3)
+    benchmark.extra_info["parallel_wall_s"] = round(
+        parallel.stats.wall_time_s, 3
+    )
+    benchmark.extra_info["parallel_utilization"] = round(
+        parallel.stats.utilization, 3
+    )
+    benchmark.extra_info["runs_per_second_serial"] = round(
+        serial.stats.runs_per_second, 2
+    )
+    benchmark.extra_info["runs_per_second_parallel"] = round(
+        parallel.stats.runs_per_second, 2
+    )
+    with capsys.disabled():
+        print()
+        print("  serial:  ", serial.stats.describe())
+        print("  parallel:", parallel.stats.describe())

@@ -5,16 +5,26 @@ Usage::
     python -m repro list
     python -m repro run fig14
     python -m repro run all
+    python -m repro run fig18 --workers 4 --seeds 32 --json fig18.json
+
+``--workers`` fans ensemble seed-runs out over the parallel executor,
+``--seeds`` overrides the Monte-Carlo seed count for ensemble-backed
+experiments, and ``--json`` dumps the structured
+:class:`~repro.experiments.registry.ExperimentResult` for downstream
+tooling.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
 
-from repro.experiments.registry import REGISTRY, get_experiment
+from repro.experiments.registry import (
+    REGISTRY,
+    ExperimentConfig,
+    get_experiment,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -31,6 +41,27 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         help="experiment id from 'repro list', or 'all'",
     )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel workers for ensemble seed-runs (default: 1)",
+    )
+    run.add_argument(
+        "--seeds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="Monte-Carlo seed count for ensemble experiments",
+    )
+    run.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        metavar="PATH",
+        help="write the structured result(s) as JSON to PATH",
+    )
     return parser
 
 
@@ -41,11 +72,23 @@ def command_list(out=sys.stdout) -> int:
     return 0
 
 
-def command_run(identifier: str, out=sys.stdout) -> int:
+def command_run(
+    identifier: str,
+    workers: int = 1,
+    seeds: Optional[int] = None,
+    json_path: Optional[str] = None,
+    out=sys.stdout,
+) -> int:
     if identifier == "all":
         identifiers: List[str] = list(REGISTRY)
     else:
         identifiers = [identifier]
+    try:
+        config = ExperimentConfig(seeds=seeds, workers=workers)
+    except ValueError as error:
+        out.write(f"error: {error}\n")
+        return 2
+    results = []
     for name in identifiers:
         try:
             experiment = get_experiment(name)
@@ -53,10 +96,21 @@ def command_run(identifier: str, out=sys.stdout) -> int:
             out.write(f"error: {error}\n")
             return 2
         out.write(f"== {experiment.title} ==\n")
-        started = time.perf_counter()
-        out.write(experiment.run_report() + "\n")
-        elapsed = time.perf_counter() - started
-        out.write(f"-- completed in {elapsed:.1f} s --\n\n")
+        result = experiment.run(config)
+        results.append(result)
+        out.write(experiment.render(result) + "\n")
+        out.write(f"-- completed in {result.elapsed_s:.1f} s --\n\n")
+    if json_path is not None:
+        from repro.sim.export import write_result_json
+
+        payload = results[0] if len(results) == 1 else results
+        try:
+            with open(json_path, "w", encoding="utf-8") as stream:
+                write_result_json(payload, stream)
+        except OSError as error:
+            out.write(f"error: cannot write {json_path}: {error}\n")
+            return 2
+        out.write(f"-- wrote structured results to {json_path} --\n")
     return 0
 
 
@@ -65,7 +119,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if arguments.command == "list":
             return command_list()
-        return command_run(arguments.experiment)
+        return command_run(
+            arguments.experiment,
+            workers=arguments.workers,
+            seeds=arguments.seeds,
+            json_path=arguments.json_path,
+        )
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; not an error.
         return 0

@@ -198,11 +198,33 @@ def run_regularization_ablation(
 # 5. reprobe cadence under carrier-phase drift
 # ----------------------------------------------------------------------
 
+def _reprobe_cell(cell: tuple) -> float:
+    """One (drift, interval) grid cell (module-level: picklable)."""
+    from repro.experiments.common import make_manager
+    from repro.sim.link import LinkSimulator
+    from repro.sim.scenarios import SyntheticScenario
+
+    drift, interval, duration_s, seed = cell
+    scenario = SyntheticScenario(
+        base_channel=two_path_channel(TESTBED_ULA, delta_db=-3.0),
+        phase_drift_rad_s=(0.0, float(drift)),
+    )
+    manager = make_manager(
+        "mmreliable", seed, reprobe_interval_s=float(interval)
+    )
+    simulator = LinkSimulator(
+        scenario=scenario, manager=manager, duration_s=duration_s
+    )
+    trace = simulator.run()
+    return float(np.mean(trace.snr_db))
+
+
 def run_reprobe_ablation(
     reprobe_intervals_s=(10e-3, 25e-3, 100e-3),
     phase_drifts_rad_s=(0.0, 30.0),
     duration_s: float = 0.5,
     seed: int = 4,
+    workers: int = 1,
 ) -> Dict[float, Dict[float, float]]:
     """Mean SNR [dB] vs reprobe interval, with and without phase drift.
 
@@ -210,29 +232,23 @@ def run_reprobe_ablation(
     path length at 28 GHz is half a turn), so the constructive gains go
     stale between refreshes.  Quasi-static channels are insensitive to
     the reprobe cadence; drifting channels reward the paper's cheap
-    (2-probe-per-beam) frequent refresh.  Returns
+    (2-probe-per-beam) frequent refresh.  The grid cells are independent
+    simulations and fan out over ``workers`` processes.  Returns
     ``{drift: {interval: mean_snr_db}}``.
     """
-    from repro.experiments.common import make_manager
-    from repro.sim.link import LinkSimulator
-    from repro.sim.scenarios import SyntheticScenario
+    from repro.sim.executor import parallel_map
 
+    cells = [
+        (float(drift), float(interval), duration_s, seed)
+        for drift in phase_drifts_rad_s
+        for interval in reprobe_intervals_s
+    ]
+    mean_snrs = parallel_map(
+        _reprobe_cell, cells, workers=workers, label="reprobe-ablation"
+    )
     results: Dict[float, Dict[float, float]] = {}
-    for drift in phase_drifts_rad_s:
-        results[drift] = {}
-        for interval in reprobe_intervals_s:
-            scenario = SyntheticScenario(
-                base_channel=two_path_channel(TESTBED_ULA, delta_db=-3.0),
-                phase_drift_rad_s=(0.0, float(drift)),
-            )
-            manager = make_manager(
-                "mmreliable", seed, reprobe_interval_s=float(interval)
-            )
-            simulator = LinkSimulator(
-                scenario=scenario, manager=manager, duration_s=duration_s
-            )
-            trace = simulator.run()
-            results[drift][interval] = float(np.mean(trace.snr_db))
+    for (drift, interval, _, _), snr in zip(cells, mean_snrs):
+        results.setdefault(drift, {})[interval] = snr
     return results
 
 

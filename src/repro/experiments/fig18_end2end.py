@@ -14,6 +14,7 @@
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, Sequence
 
 import numpy as np
@@ -28,8 +29,8 @@ from repro.phy.reference_signals import (
     beam_training_time_s,
     multibeam_maintenance_time_s,
 )
+from repro.sim.executor import EnsembleSpec, EnsembleSummary, execute_ensemble
 from repro.sim.link import LinkSimulator
-from repro.sim.runner import EnsembleSummary, run_ensemble
 from repro.sim.scenarios import indoor_two_path_scenario
 
 
@@ -92,43 +93,59 @@ def run_static_blockers(
 # (b)(c) mobile links with blockage: reliability and T x R
 # ----------------------------------------------------------------------
 
+def _mobile_scenario(
+    seed: int,
+    speed_mps: float,
+    blockage_depth_db: float,
+    distance_m: float,
+):
+    """One seed's mobility + blockage scenario (module-level: picklable)."""
+    schedule = random_blockage_schedule(
+        num_paths=2,
+        num_events=2,
+        depth_db=blockage_depth_db,
+        rng=9000 + seed,
+        block_strongest_only=True,
+    )
+    return indoor_two_path_scenario(
+        TESTBED_ULA, translation_speed_mps=speed_mps,
+        blockage=schedule, delta_db=-4.0, distance_m=distance_m,
+    )
+
+
 def run_mobile_ensembles(
     seeds: Sequence[int] = range(20),
     duration_s: float = 1.0,
     speed_mps: float = 1.5,
     blockage_depth_db: float = 30.0,
     distance_m: float = 25.0,
+    workers: int = 1,
 ) -> Dict[str, EnsembleSummary]:
     """The paper's combined mobility + blockage workload (Fig. 18b/c).
 
     The link distance puts the single-beam SNR ~9 dB above the outage
     threshold — the paper's operating regime (~1-1.5 b/s/Hz average
     spectral efficiency), where blockage means outage for a single beam
-    and the widebeam's gain deficit is ruinous.
+    and the widebeam's gain deficit is ruinous.  ``workers`` fans the
+    seed-runs out over the ensemble executor's process pool.
     """
     systems = ("mmreliable", "reactive", "beamspy", "widebeam", "oracle")
-
-    def scenario_factory(seed: int):
-        schedule = random_blockage_schedule(
-            num_paths=2,
-            num_events=2,
-            depth_db=blockage_depth_db,
-            rng=9000 + seed,
-            block_strongest_only=True,
-        )
-        return indoor_two_path_scenario(
-            TESTBED_ULA, translation_speed_mps=speed_mps,
-            blockage=schedule, delta_db=-4.0, distance_m=distance_m,
-        )
-
     summaries = {}
     for system in systems:
-        summaries[system] = run_ensemble(
-            system,
-            scenario_factory,
-            lambda seed, system=system: make_manager(system, seed),
-            seeds=seeds,
-            duration_s=duration_s,
+        summaries[system] = execute_ensemble(
+            EnsembleSpec(
+                label=system,
+                scenario_factory=partial(
+                    _mobile_scenario,
+                    speed_mps=speed_mps,
+                    blockage_depth_db=blockage_depth_db,
+                    distance_m=distance_m,
+                ),
+                manager_factory=partial(make_manager, system),
+                seeds=tuple(seeds),
+                duration_s=duration_s,
+                workers=workers,
+            )
         )
     return summaries
 

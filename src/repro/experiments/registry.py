@@ -1,145 +1,351 @@
-"""Registry mapping experiment ids to their run-and-report entry points.
+"""Registry mapping experiment ids to structured run/render entry points.
 
 Used by the CLI (``python -m repro run fig14``) and by anyone scripting
-over the full reproduction.  Each entry produces the printable report for
-one paper figure.
+over the full reproduction.  Each experiment is a two-stage pipeline:
+
+* ``run(config) -> ExperimentResult`` — produce structured data (the
+  sweeps, ensembles, and tables behind one paper figure) plus timing,
+  honouring the :class:`ExperimentConfig` knobs (seed count, parallel
+  workers) where the experiment has an ensemble to scale.
+* ``render(result) -> str`` — format that data as the printable report.
+
+``run_report()`` composes the two and is kept as the backwards
+compatible one-shot entry point.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs threaded into an experiment run.
+
+    ``seeds`` overrides the number of Monte-Carlo seeds for experiments
+    built on ensembles (``fig18``, ``robustness``); ``workers`` sets the
+    ensemble executor's process-pool width.  Experiments without an
+    ensemble ignore both.
+    """
+
+    seeds: Optional[int] = None
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.seeds is not None and self.seeds < 1:
+            raise ValueError(f"seeds must be >= 1, got {self.seeds!r}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers!r}")
+
+    def seed_range(self, default: int) -> range:
+        """The seed range to use, honouring the override."""
+        return range(self.seeds if self.seeds is not None else default)
+
+
+DEFAULT_CONFIG = ExperimentConfig()
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Structured output of one experiment run."""
+
+    identifier: str
+    title: str
+    config: ExperimentConfig
+    data: Dict[str, Any]
+    elapsed_s: float
 
 
 @dataclass(frozen=True)
 class Experiment:
-    """One registered experiment."""
+    """One registered experiment: a run stage plus a render stage."""
 
     identifier: str
     title: str
-    run_report: Callable[[], str]
+    runner: Callable[[ExperimentConfig], Dict[str, Any]] = field(repr=False)
+    renderer: Callable[[Dict[str, Any]], str] = field(repr=False)
+
+    def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
+        """Produce the experiment's structured data, with timing."""
+        config = DEFAULT_CONFIG if config is None else config
+        started = time.perf_counter()
+        data = self.runner(config)
+        return ExperimentResult(
+            identifier=self.identifier,
+            title=self.title,
+            config=config,
+            data=data,
+            elapsed_s=time.perf_counter() - started,
+        )
+
+    def render(self, result) -> str:
+        """Format a result (or its bare data dict) as the paper report."""
+        data = result.data if isinstance(result, ExperimentResult) else result
+        return self.renderer(data)
+
+    def run_report(self, config: Optional[ExperimentConfig] = None) -> str:
+        """Backwards-compatible one-shot: run then render."""
+        return self.render(self.run(config))
 
 
-def _fig04() -> str:
+# ----------------------------------------------------------------------
+# per-figure run/render stages (imports deferred so ``repro list`` stays
+# instant and figures only pay for what they use)
+# ----------------------------------------------------------------------
+
+def _fig04_run(config: ExperimentConfig) -> Dict[str, Any]:
     from repro.experiments import fig04_reflectors as m
 
-    return m.report(m.run_attenuation_study())
+    return {"attenuation": m.run_attenuation_study()}
 
 
-def _fig08() -> str:
+def _fig04_render(data: Dict[str, Any]) -> str:
+    from repro.experiments import fig04_reflectors as m
+
+    return m.report(data["attenuation"])
+
+
+def _fig08_run(config: ExperimentConfig) -> Dict[str, Any]:
     from repro.experiments import fig08_delay_array as m
 
-    return m.report(m.run_band_responses())
+    return {"responses": m.run_band_responses()}
 
 
-def _fig11() -> str:
+def _fig08_render(data: Dict[str, Any]) -> str:
+    from repro.experiments import fig08_delay_array as m
+
+    return m.report(data["responses"])
+
+
+def _fig11_run(config: ExperimentConfig) -> Dict[str, Any]:
     from repro.experiments import fig11_superres as m
 
-    return m.report(m.run_mse_sweep(), m.run_two_sinc_recovery())
+    return {
+        "mse_sweep": m.run_mse_sweep(),
+        "two_sinc": m.run_two_sinc_recovery(),
+    }
 
 
-def _fig13() -> str:
+def _fig11_render(data: Dict[str, Any]) -> str:
+    from repro.experiments import fig11_superres as m
+
+    return m.report(data["mse_sweep"], data["two_sinc"])
+
+
+def _fig13_run(config: ExperimentConfig) -> Dict[str, Any]:
     from repro.experiments import fig13_patterns as m
 
-    return m.report(
-        {k: m.run_pattern_comparison(num_beams=k) for k in (2, 3)}
-    )
+    return {
+        "patterns": {k: m.run_pattern_comparison(num_beams=k) for k in (2, 3)}
+    }
 
 
-def _fig14() -> str:
+def _fig13_render(data: Dict[str, Any]) -> str:
+    from repro.experiments import fig13_patterns as m
+
+    return m.report(data["patterns"])
+
+
+def _fig14_run(config: ExperimentConfig) -> Dict[str, Any]:
     from repro.experiments import fig14_sensitivity as m
 
-    return m.report(m.run_sensitivity_grid())
+    return {"grid": m.run_sensitivity_grid()}
 
 
-def _fig15() -> str:
+def _fig14_render(data: Dict[str, Any]) -> str:
+    from repro.experiments import fig14_sensitivity as m
+
+    return m.report(data["grid"])
+
+
+def _fig15_run(config: ExperimentConfig) -> Dict[str, Any]:
     from repro.experiments import fig15_combining as m
 
-    return m.report(
-        m.run_combining_accuracy(), m.run_phase_stability(), m.run_snr_gains()
-    )
+    return {
+        "accuracy": m.run_combining_accuracy(),
+        "stability": m.run_phase_stability(),
+        "gains": m.run_snr_gains(),
+    }
 
 
-def _fig16() -> str:
+def _fig15_render(data: Dict[str, Any]) -> str:
+    from repro.experiments import fig15_combining as m
+
+    return m.report(data["accuracy"], data["stability"], data["gains"])
+
+
+def _fig16_run(config: ExperimentConfig) -> Dict[str, Any]:
     from repro.experiments import fig16_blockage as m
 
-    return m.report(m.run_walking_blocker())
+    return {"walking_blocker": m.run_walking_blocker()}
 
 
-def _fig17() -> str:
+def _fig16_render(data: Dict[str, Any]) -> str:
+    from repro.experiments import fig16_blockage as m
+
+    return m.report(data["walking_blocker"])
+
+
+def _fig17_run(config: ExperimentConfig) -> Dict[str, Any]:
+    from repro.experiments import fig17_tracking as m
+
+    return {
+        "power_trace": m.run_per_beam_power_trace(),
+        "angle_accuracy": m.run_angle_accuracy(),
+        "throughput": m.run_throughput_timeseries(),
+    }
+
+
+def _fig17_render(data: Dict[str, Any]) -> str:
     from repro.experiments import fig17_tracking as m
 
     return m.report(
-        m.run_per_beam_power_trace(),
-        m.run_angle_accuracy(),
-        m.run_throughput_timeseries(),
+        data["power_trace"], data["angle_accuracy"], data["throughput"]
     )
 
 
-def _fig18() -> str:
+def _fig18_run(config: ExperimentConfig) -> Dict[str, Any]:
     from repro.experiments import fig18_end2end as m
 
-    return m.report(
-        m.run_static_blockers(),
-        m.run_mobile_ensembles(seeds=range(10)),
-        m.run_probing_overhead(),
-    )
+    return {
+        "static": m.run_static_blockers(),
+        "mobile": m.run_mobile_ensembles(
+            seeds=config.seed_range(10), workers=config.workers
+        ),
+        "overhead": m.run_probing_overhead(),
+    }
 
 
-def _fig19() -> str:
+def _fig18_render(data: Dict[str, Any]) -> str:
+    from repro.experiments import fig18_end2end as m
+
+    return m.report(data["static"], data["mobile"], data["overhead"])
+
+
+def _fig19_run(config: ExperimentConfig) -> Dict[str, Any]:
     from repro.experiments import fig19_60ghz as m
 
-    return m.report(m.run_carrier_comparison())
+    return {"carriers": m.run_carrier_comparison()}
 
 
-def _reliability() -> str:
+def _fig19_render(data: Dict[str, Any]) -> str:
+    from repro.experiments import fig19_60ghz as m
+
+    return m.report(data["carriers"])
+
+
+def _reliability_run(config: ExperimentConfig) -> Dict[str, Any]:
     from repro.experiments import reliability_model as m
 
-    return m.report(m.run_analytic_curves(), m.run_monte_carlo_check())
+    return {
+        "analytic": m.run_analytic_curves(),
+        "monte_carlo": m.run_monte_carlo_check(),
+    }
 
 
-def _robustness() -> str:
+def _reliability_render(data: Dict[str, Any]) -> str:
+    from repro.experiments import reliability_model as m
+
+    return m.report(data["analytic"], data["monte_carlo"])
+
+
+def _robustness_run(config: ExperimentConfig) -> Dict[str, Any]:
     from repro.experiments import robustness as m
 
-    return m.report(m.run_clustered_ensembles())
+    return {
+        "clustered": m.run_clustered_ensembles(
+            seeds=config.seed_range(12), workers=config.workers
+        )
+    }
 
 
-def _ablations() -> str:
+def _robustness_render(data: Dict[str, Any]) -> str:
+    from repro.experiments import robustness as m
+
+    return m.report(data["clustered"])
+
+
+def _ablations_run(config: ExperimentConfig) -> Dict[str, Any]:
+    from repro.experiments import ablations as m
+
+    return {
+        "cfo": m.run_cfo_ablation(),
+        "quantization": m.run_quantization_ablation(),
+        "beam_count": m.run_beam_count_ablation(),
+        "regularization": m.run_regularization_ablation(),
+        "reprobe": m.run_reprobe_ablation(workers=config.workers),
+    }
+
+
+def _ablations_render(data: Dict[str, Any]) -> str:
     from repro.experiments import ablations as m
 
     return m.report(
-        m.run_cfo_ablation(),
-        m.run_quantization_ablation(),
-        m.run_beam_count_ablation(),
-        m.run_regularization_ablation(),
-        m.run_reprobe_ablation(),
+        data["cfo"],
+        data["quantization"],
+        data["beam_count"],
+        data["regularization"],
+        data["reprobe"],
     )
 
 
 REGISTRY: Dict[str, Experiment] = {
     e.identifier: e
     for e in (
-        Experiment("fig04", "Fig. 4 — strength of mmWave multipath", _fig04),
-        Experiment("fig08", "Fig. 7/8 — delay phased array response", _fig08),
-        Experiment("fig11", "Fig. 11 — super-resolution efficiency", _fig11),
         Experiment(
-            "fig13", "Fig. 13d — multi-beam pattern fidelity", _fig13
-        ),
-        Experiment("fig14", "Fig. 14 — sensitivity to estimation errors", _fig14),
-        Experiment("fig15", "Fig. 15 — constructive combining accuracy", _fig15),
-        Experiment("fig16", "Fig. 16 — blockage resilience", _fig16),
-        Experiment("fig17", "Fig. 17 — proactive tracking", _fig17),
-        Experiment("fig18", "Fig. 18 — end-to-end comparison", _fig18),
-        Experiment("fig19", "Fig. 19 (App. B) — 28 vs 60 GHz", _fig19),
-        Experiment(
-            "reliability", "Sec. 3.1 — reliability model", _reliability
+            "fig04", "Fig. 4 — strength of mmWave multipath",
+            _fig04_run, _fig04_render,
         ),
         Experiment(
-            "robustness",
-            "end-to-end on random clustered channels",
-            _robustness,
+            "fig08", "Fig. 7/8 — delay phased array response",
+            _fig08_run, _fig08_render,
         ),
-        Experiment("ablations", "design-choice ablations", _ablations),
+        Experiment(
+            "fig11", "Fig. 11 — super-resolution efficiency",
+            _fig11_run, _fig11_render,
+        ),
+        Experiment(
+            "fig13", "Fig. 13d — multi-beam pattern fidelity",
+            _fig13_run, _fig13_render,
+        ),
+        Experiment(
+            "fig14", "Fig. 14 — sensitivity to estimation errors",
+            _fig14_run, _fig14_render,
+        ),
+        Experiment(
+            "fig15", "Fig. 15 — constructive combining accuracy",
+            _fig15_run, _fig15_render,
+        ),
+        Experiment(
+            "fig16", "Fig. 16 — blockage resilience",
+            _fig16_run, _fig16_render,
+        ),
+        Experiment(
+            "fig17", "Fig. 17 — proactive tracking",
+            _fig17_run, _fig17_render,
+        ),
+        Experiment(
+            "fig18", "Fig. 18 — end-to-end comparison",
+            _fig18_run, _fig18_render,
+        ),
+        Experiment(
+            "fig19", "Fig. 19 (App. B) — 28 vs 60 GHz",
+            _fig19_run, _fig19_render,
+        ),
+        Experiment(
+            "reliability", "Sec. 3.1 — reliability model",
+            _reliability_run, _reliability_render,
+        ),
+        Experiment(
+            "robustness", "end-to-end on random clustered channels",
+            _robustness_run, _robustness_render,
+        ),
+        Experiment(
+            "ablations", "design-choice ablations",
+            _ablations_run, _ablations_render,
+        ),
     )
 }
 

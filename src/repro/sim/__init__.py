@@ -23,12 +23,24 @@ from repro.sim.scenarios import (
     indoor_mobile_scenario,
 )
 from repro.sim.link import LinkSimulator, SimulationTrace
-from repro.sim.runner import run_ensemble, EnsembleSummary
+from repro.sim.executor import (
+    EnsembleError,
+    EnsembleSpec,
+    EnsembleSummary,
+    ExecutorStats,
+    RunFailure,
+    execute_ensemble,
+    parallel_map,
+)
+from repro.sim.runner import run_ensemble
 from repro.sim.export import (
     trace_to_csv,
     metrics_to_csv,
     write_trace_csv,
     write_metrics_csv,
+    to_jsonable,
+    result_to_json,
+    write_result_json,
 )
 
 __all__ = [
@@ -47,9 +59,18 @@ __all__ = [
     "LinkSimulator",
     "SimulationTrace",
     "run_ensemble",
+    "execute_ensemble",
+    "parallel_map",
+    "EnsembleError",
+    "EnsembleSpec",
     "EnsembleSummary",
+    "ExecutorStats",
+    "RunFailure",
     "trace_to_csv",
     "metrics_to_csv",
     "write_trace_csv",
     "write_metrics_csv",
+    "to_jsonable",
+    "result_to_json",
+    "write_result_json",
 ]

@@ -1,0 +1,383 @@
+"""Parallel ensemble execution engine.
+
+The paper's headline evaluation (Fig. 18) aggregates ~100 randomized
+1-second runs per system.  Each run is independent — the scenario and
+manager are rebuilt from the seed — so the ensemble is embarrassingly
+parallel.  This module fans seed-runs out over a
+:class:`concurrent.futures.ProcessPoolExecutor` while preserving the
+serial path's exact per-seed results:
+
+* **Determinism** — every run derives all randomness from its seed, and
+  results are collected in seed order, so ``workers=4`` produces metrics
+  bitwise identical to ``workers=1``.
+* **Fault tolerance** — a seed whose simulation raises is recorded as a
+  structured :class:`RunFailure` (seed, exception, traceback) instead of
+  killing the whole ensemble; the ensemble itself errors only once the
+  failed fraction exceeds :attr:`EnsembleSpec.max_failure_fraction`.
+* **Fallback** — ``workers=1``, single-seed ensembles, and factories
+  that cannot be pickled (closures, lambdas) run on a deterministic
+  in-process serial path.
+* **Stats** — per-run wall times, worker utilization, and run counts are
+  surfaced on :attr:`EnsembleSummary.stats` for throughput tracking.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+import traceback
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.link import LinkSimulator
+from repro.sim.metrics import LinkMetrics
+
+__all__ = [
+    "EnsembleError",
+    "EnsembleSpec",
+    "EnsembleSummary",
+    "ExecutorStats",
+    "RunFailure",
+    "execute_ensemble",
+    "parallel_map",
+]
+
+
+# ----------------------------------------------------------------------
+# structured results
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RunFailure:
+    """One seed-run that raised instead of producing metrics."""
+
+    seed: int
+    error: str
+    traceback: str
+    elapsed_s: float
+
+    def __str__(self) -> str:
+        return f"seed {self.seed}: {self.error}"
+
+
+@dataclass(frozen=True)
+class ExecutorStats:
+    """Execution statistics for one ensemble."""
+
+    backend: str
+    workers: int
+    total_runs: int
+    failed_runs: int
+    wall_time_s: float
+    run_times_s: Tuple[float, ...]
+
+    @property
+    def completed_runs(self) -> int:
+        return self.total_runs - self.failed_runs
+
+    @property
+    def busy_time_s(self) -> float:
+        """Summed per-run wall time (the serial-equivalent cost)."""
+        return float(sum(self.run_times_s))
+
+    @property
+    def mean_run_time_s(self) -> float:
+        if not self.run_times_s:
+            return 0.0
+        return self.busy_time_s / len(self.run_times_s)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the worker pool kept busy over the wall time."""
+        capacity = self.workers * self.wall_time_s
+        if capacity <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_time_s / capacity)
+
+    @property
+    def runs_per_second(self) -> float:
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.total_runs / self.wall_time_s
+
+    def describe(self) -> str:
+        return (
+            f"{self.backend} x{self.workers}: {self.completed_runs}"
+            f"/{self.total_runs} runs in {self.wall_time_s:.2f} s "
+            f"({self.runs_per_second:.1f} runs/s, "
+            f"utilization {self.utilization:.0%})"
+        )
+
+
+@dataclass(frozen=True)
+class EnsembleSummary:
+    """Distribution summary over an ensemble of runs."""
+
+    label: str
+    metrics: tuple
+    failures: Tuple[RunFailure, ...] = ()
+    stats: Optional[ExecutorStats] = None
+
+    def __post_init__(self) -> None:
+        if not self.metrics:
+            raise ValueError("empty ensemble")
+
+    def _values(self, attribute: str) -> np.ndarray:
+        return np.asarray([getattr(m, attribute) for m in self.metrics])
+
+    def median_reliability(self) -> float:
+        return float(np.median(self._values("reliability")))
+
+    def mean_reliability(self) -> float:
+        return float(np.mean(self._values("reliability")))
+
+    def mean_throughput_bps(self) -> float:
+        return float(np.mean(self._values("mean_throughput_bps")))
+
+    def std_throughput_bps(self) -> float:
+        return float(np.std(self._values("mean_throughput_bps")))
+
+    def mean_spectral_efficiency(self) -> float:
+        return float(np.mean(self._values("mean_spectral_efficiency")))
+
+    def std_reliability(self) -> float:
+        return float(np.std(self._values("reliability")))
+
+    def mean_product(self) -> float:
+        return float(np.mean(self._values("product")))
+
+    def reliability_values(self) -> np.ndarray:
+        return self._values("reliability")
+
+    def throughput_values(self) -> np.ndarray:
+        return self._values("mean_throughput_bps")
+
+    def describe(self) -> str:
+        """One printable row, in the shape the paper's tables report."""
+        line = (
+            f"{self.label:<24s} reliability(med)={self.median_reliability():.3f} "
+            f"throughput={self.mean_throughput_bps() / 1e6:8.1f} Mbps "
+            f"spectral-eff={self.mean_spectral_efficiency():.2f} b/s/Hz "
+            f"TxR={self.mean_product() / 1e6:8.1f}"
+        )
+        if self.failures:
+            line += f" [{len(self.failures)} failed run(s)]"
+        return line
+
+
+# ----------------------------------------------------------------------
+# ensemble specification
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EnsembleSpec:
+    """Everything needed to run one (scenario, manager) ensemble.
+
+    Both factories receive the seed so scenario randomness (blockage
+    timing, environment draw) and manager randomness (probe noise) are
+    reproducible per run.  For ``workers > 1`` the factories must be
+    picklable (module-level functions or :func:`functools.partial` over
+    them); non-picklable factories fall back to the serial path with a
+    warning.
+    """
+
+    label: str
+    scenario_factory: Callable[[int], object]
+    manager_factory: Callable[[int], object]
+    seeds: Tuple[int, ...]
+    duration_s: float = 1.0
+    sample_period_s: float = 1e-3
+    maintenance_period_s: float = 5e-3
+    workers: int = 1
+    max_failure_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "seeds", tuple(int(seed) for seed in self.seeds)
+        )
+        if not self.seeds:
+            raise ValueError("need at least one seed")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers!r}")
+        if not 0.0 <= self.max_failure_fraction <= 1.0:
+            raise ValueError(
+                "max_failure_fraction must be in [0, 1], got "
+                f"{self.max_failure_fraction!r}"
+            )
+
+    def with_options(self, **changes) -> "EnsembleSpec":
+        """A copy of this spec with the given fields replaced."""
+        return replace(self, **changes)
+
+
+class EnsembleError(RuntimeError):
+    """Raised when an ensemble exceeds its failure budget."""
+
+    def __init__(self, label: str, failures: Tuple[RunFailure, ...],
+                 total_runs: int) -> None:
+        self.label = label
+        self.failures = failures
+        self.total_runs = total_runs
+        detail = "; ".join(str(f) for f in failures[:3])
+        if len(failures) > 3:
+            detail += f"; ... ({len(failures) - 3} more)"
+        super().__init__(
+            f"ensemble {label!r}: {len(failures)}/{total_runs} runs "
+            f"failed ({detail})"
+        )
+
+
+# ----------------------------------------------------------------------
+# execution machinery
+# ----------------------------------------------------------------------
+
+def _is_picklable(payload: object) -> bool:
+    try:
+        pickle.dumps(payload)
+    except Exception:
+        return False
+    return True
+
+
+def _run_one_seed(payload: tuple) -> tuple:
+    """Run one seed end to end; never raises for per-run errors.
+
+    Module-level so the process pool can pickle it by reference.  The
+    traceback is captured inside the worker, where the frames still
+    exist, and shipped back as a string.
+    """
+    (seed, scenario_factory, manager_factory, duration_s,
+     sample_period_s, maintenance_period_s) = payload
+    started = time.perf_counter()
+    try:
+        simulator = LinkSimulator(
+            scenario=scenario_factory(int(seed)),
+            manager=manager_factory(int(seed)),
+            duration_s=duration_s,
+            sample_period_s=sample_period_s,
+            maintenance_period_s=maintenance_period_s,
+        )
+        metrics = simulator.run().metrics()
+    except Exception as error:  # per-seed fault tolerance
+        return (
+            "failure",
+            RunFailure(
+                seed=int(seed),
+                error=repr(error),
+                traceback=traceback.format_exc(),
+                elapsed_s=time.perf_counter() - started,
+            ),
+        )
+    return ("success", int(seed), metrics, time.perf_counter() - started)
+
+
+def _resolve_backend(spec: EnsembleSpec) -> str:
+    if spec.workers <= 1 or len(spec.seeds) <= 1:
+        return "serial"
+    if not _is_picklable((spec.scenario_factory, spec.manager_factory)):
+        warnings.warn(
+            f"ensemble {spec.label!r}: factories are not picklable "
+            "(closures/lambdas?); falling back to serial execution. "
+            "Use module-level functions or functools.partial to enable "
+            f"workers={spec.workers}.",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return "serial"
+    return "process"
+
+
+def execute_ensemble(spec: EnsembleSpec) -> EnsembleSummary:
+    """Run every seed of ``spec`` and summarize the distribution.
+
+    Seeds run in parallel when ``spec.workers > 1`` (process pool), with
+    results collected in seed order so the output is independent of the
+    backend.  Raises :class:`EnsembleError` when the failed fraction
+    exceeds ``spec.max_failure_fraction`` or no run succeeded.
+    """
+    backend = _resolve_backend(spec)
+    payloads = [
+        (
+            seed,
+            spec.scenario_factory,
+            spec.manager_factory,
+            spec.duration_s,
+            spec.sample_period_s,
+            spec.maintenance_period_s,
+        )
+        for seed in spec.seeds
+    ]
+    started = time.perf_counter()
+    if backend == "process":
+        workers = min(spec.workers, len(spec.seeds))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_run_one_seed, payloads, chunksize=1))
+    else:
+        outcomes = [_run_one_seed(payload) for payload in payloads]
+    wall_time_s = time.perf_counter() - started
+
+    metrics: List[LinkMetrics] = []
+    failures: List[RunFailure] = []
+    run_times: List[float] = []
+    for outcome in outcomes:
+        if outcome[0] == "success":
+            _, _, run_metrics, elapsed_s = outcome
+            metrics.append(run_metrics)
+            run_times.append(elapsed_s)
+        else:
+            failures.append(outcome[1])
+            run_times.append(outcome[1].elapsed_s)
+
+    total = len(spec.seeds)
+    fraction = len(failures) / total
+    if not metrics or fraction > spec.max_failure_fraction:
+        raise EnsembleError(spec.label, tuple(failures), total)
+
+    stats = ExecutorStats(
+        backend=backend,
+        workers=spec.workers if backend == "process" else 1,
+        total_runs=total,
+        failed_runs=len(failures),
+        wall_time_s=wall_time_s,
+        run_times_s=tuple(run_times),
+    )
+    return EnsembleSummary(
+        label=spec.label,
+        metrics=tuple(metrics),
+        failures=tuple(failures),
+        stats=stats,
+    )
+
+
+def parallel_map(
+    function: Callable,
+    items: Sequence,
+    workers: int = 1,
+    label: str = "parallel_map",
+) -> list:
+    """Ordered map over a process pool, with a deterministic serial path.
+
+    The generic sibling of :func:`execute_ensemble` for experiment grids
+    that are not seed ensembles (e.g. ablation cells).  Exceptions
+    propagate — grid cells are not expendable the way ensemble seeds
+    are.  Falls back to serial when ``workers <= 1``, for short inputs,
+    or when ``function``/``items`` cannot be pickled.
+    """
+    items = list(items)
+    if workers > 1 and len(items) > 1:
+        if _is_picklable((function, items)):
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(items))
+            ) as pool:
+                return list(pool.map(function, items, chunksize=1))
+        warnings.warn(
+            f"{label}: function or items are not picklable; "
+            "falling back to serial execution.",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return [function(item) for item in items]

@@ -1,17 +1,23 @@
-"""Export simulation traces for downstream analysis.
+"""Export simulation results for downstream analysis.
 
-Users typically want to plot SNR/throughput time series or collect
-ensembles into a table; these helpers write plain CSV (no pandas
-dependency) in stable column orders.
+Users typically want to plot SNR/throughput time series, collect
+ensembles into a table, or feed structured experiment results to other
+tooling.  These helpers write plain CSV and JSON (no pandas dependency)
+in stable column orders / key layouts.
 """
 
 from __future__ import annotations
 
 import csv
+import dataclasses
 import io
-from typing import Iterable, TextIO
+import json
+from typing import Any, Iterable, TextIO
+
+import numpy as np
 
 from repro.phy.mcs import OUTAGE_SNR_DB, spectral_efficiency
+from repro.sim.executor import EnsembleSummary
 from repro.sim.link import SimulationTrace
 from repro.sim.metrics import LinkMetrics
 
@@ -86,3 +92,77 @@ def metrics_to_csv(rows: Iterable[tuple]) -> str:
     buffer = io.StringIO()
     write_metrics_csv(rows, buffer)
     return buffer.getvalue()
+
+
+# ----------------------------------------------------------------------
+# structured JSON export
+# ----------------------------------------------------------------------
+
+def _summary_to_jsonable(summary: EnsembleSummary) -> dict:
+    """An :class:`EnsembleSummary` with its derived statistics spelled out."""
+    payload = {
+        "label": summary.label,
+        "summary": {
+            "median_reliability": summary.median_reliability(),
+            "mean_reliability": summary.mean_reliability(),
+            "std_reliability": summary.std_reliability(),
+            "mean_throughput_bps": summary.mean_throughput_bps(),
+            "std_throughput_bps": summary.std_throughput_bps(),
+            "mean_spectral_efficiency": summary.mean_spectral_efficiency(),
+            "mean_product": summary.mean_product(),
+        },
+        "runs": [to_jsonable(metrics) for metrics in summary.metrics],
+        "failures": [to_jsonable(failure) for failure in summary.failures],
+    }
+    if summary.stats is not None:
+        stats = to_jsonable(summary.stats)
+        stats["utilization"] = summary.stats.utilization
+        stats["runs_per_second"] = summary.stats.runs_per_second
+        payload["stats"] = stats
+    return payload
+
+
+def to_jsonable(value: Any) -> Any:
+    """Convert experiment payloads to plain JSON-serializable types.
+
+    Handles the structures experiments actually return: dataclasses
+    (``ExperimentResult``, ``LinkMetrics``, ablation dataclasses),
+    :class:`EnsembleSummary` (expanded with its derived statistics),
+    numpy arrays/scalars, complex numbers, and nested containers.
+    Anything unrecognized degrades to ``repr``.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value if np.isfinite(value) else repr(value)
+    if isinstance(value, EnsembleSummary):
+        return _summary_to_jsonable(value)
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(item) for item in value.tolist()]
+    if isinstance(value, np.generic):
+        return to_jsonable(value.item())
+    if isinstance(value, complex):
+        return {"real": value.real, "imag": value.imag}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in value]
+    if callable(value):
+        return getattr(value, "__name__", repr(value))
+    return repr(value)
+
+
+def result_to_json(result: Any, indent: int = 2) -> str:
+    """A structured experiment result (or list of them) as JSON text."""
+    return json.dumps(to_jsonable(result), indent=indent)
+
+
+def write_result_json(result: Any, stream: TextIO, indent: int = 2) -> None:
+    """Write a structured experiment result (or list of them) as JSON."""
+    stream.write(result_to_json(result, indent=indent))
+    stream.write("\n")

@@ -3,95 +3,100 @@
 The end-to-end evaluation (Fig. 18) aggregates ~100 randomized 1-second
 runs per system.  :func:`run_ensemble` repeats (scenario, manager) builds
 across seeds and summarizes the distribution of every metric.
+
+Execution lives in :mod:`repro.sim.executor`; this module keeps the
+historical entry point.  Preferred usage is a single
+:class:`~repro.sim.executor.EnsembleSpec`::
+
+    spec = EnsembleSpec(label="oracle", scenario_factory=...,
+                        manager_factory=..., seeds=range(16), workers=4)
+    summary = run_ensemble(spec)
+
+The keyword form ``run_ensemble(label=..., scenario_factory=..., ...)``
+remains supported; passing the factories *positionally* is deprecated.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Sequence
+import warnings
 
-import numpy as np
+from repro.sim.executor import (
+    EnsembleError,
+    EnsembleSpec,
+    EnsembleSummary,
+    ExecutorStats,
+    RunFailure,
+    execute_ensemble,
+)
 
-from repro.sim.link import LinkSimulator
-from repro.sim.metrics import LinkMetrics
+__all__ = [
+    "EnsembleError",
+    "EnsembleSpec",
+    "EnsembleSummary",
+    "ExecutorStats",
+    "RunFailure",
+    "run_ensemble",
+]
 
-
-@dataclass(frozen=True)
-class EnsembleSummary:
-    """Distribution summary over an ensemble of runs."""
-
-    label: str
-    metrics: tuple
-
-    def __post_init__(self) -> None:
-        if not self.metrics:
-            raise ValueError("empty ensemble")
-
-    def _values(self, attribute: str) -> np.ndarray:
-        return np.asarray([getattr(m, attribute) for m in self.metrics])
-
-    def median_reliability(self) -> float:
-        return float(np.median(self._values("reliability")))
-
-    def mean_reliability(self) -> float:
-        return float(np.mean(self._values("reliability")))
-
-    def mean_throughput_bps(self) -> float:
-        return float(np.mean(self._values("mean_throughput_bps")))
-
-    def std_throughput_bps(self) -> float:
-        return float(np.std(self._values("mean_throughput_bps")))
-
-    def mean_spectral_efficiency(self) -> float:
-        return float(np.mean(self._values("mean_spectral_efficiency")))
-
-    def std_reliability(self) -> float:
-        return float(np.std(self._values("reliability")))
-
-    def mean_product(self) -> float:
-        return float(np.mean(self._values("product")))
-
-    def reliability_values(self) -> np.ndarray:
-        return self._values("reliability")
-
-    def throughput_values(self) -> np.ndarray:
-        return self._values("mean_throughput_bps")
-
-    def describe(self) -> str:
-        """One printable row, in the shape the paper's tables report."""
-        return (
-            f"{self.label:<24s} reliability(med)={self.median_reliability():.3f} "
-            f"throughput={self.mean_throughput_bps() / 1e6:8.1f} Mbps "
-            f"spectral-eff={self.mean_spectral_efficiency():.2f} b/s/Hz "
-            f"TxR={self.mean_product() / 1e6:8.1f}"
-        )
+#: Keyword names of the historical positional signature, in order.
+_LEGACY_PARAMETERS = (
+    "label",
+    "scenario_factory",
+    "manager_factory",
+    "seeds",
+    "duration_s",
+    "sample_period_s",
+    "maintenance_period_s",
+)
 
 
-def run_ensemble(
-    label: str,
-    scenario_factory: Callable[[int], object],
-    manager_factory: Callable[[int], object],
-    seeds: Sequence[int],
-    duration_s: float = 1.0,
-    sample_period_s: float = 1e-3,
-    maintenance_period_s: float = 5e-3,
-) -> EnsembleSummary:
+def run_ensemble(*args, **kwargs) -> EnsembleSummary:
     """Run one (scenario, manager) pairing across seeds and summarize.
 
-    Both factories receive the seed so scenario randomness (blockage
-    timing, environment draw) and manager randomness (probe noise) are
+    Accepts either a single :class:`EnsembleSpec`::
+
+        run_ensemble(EnsembleSpec(label=..., ..., workers=4))
+
+    or the historical keyword signature (``label``,
+    ``scenario_factory``, ``manager_factory``, ``seeds``,
+    ``duration_s``, ``sample_period_s``, ``maintenance_period_s``) plus
+    the executor knobs ``workers`` and ``max_failure_fraction``.  Both
+    factories receive the seed so scenario randomness (blockage timing,
+    environment draw) and manager randomness (probe noise) are
     reproducible per run.
     """
-    if not seeds:
-        raise ValueError("need at least one seed")
-    results: List[LinkMetrics] = []
-    for seed in seeds:
-        simulator = LinkSimulator(
-            scenario=scenario_factory(int(seed)),
-            manager=manager_factory(int(seed)),
-            duration_s=duration_s,
-            sample_period_s=sample_period_s,
-            maintenance_period_s=maintenance_period_s,
+    if args and isinstance(args[0], EnsembleSpec):
+        if len(args) > 1 or kwargs:
+            raise TypeError(
+                "run_ensemble(spec) takes no additional arguments; "
+                "use spec.with_options(...) to override fields"
+            )
+        return execute_ensemble(args[0])
+
+    if len(args) > len(_LEGACY_PARAMETERS):
+        raise TypeError(
+            f"run_ensemble takes at most {len(_LEGACY_PARAMETERS)} "
+            f"positional arguments ({len(args)} given)"
         )
-        results.append(simulator.run().metrics())
-    return EnsembleSummary(label=label, metrics=tuple(results))
+    if len(args) > 1:
+        warnings.warn(
+            "passing run_ensemble factories positionally is deprecated; "
+            "pass an EnsembleSpec (or keyword arguments) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    merged = dict(zip(_LEGACY_PARAMETERS, args))
+    duplicated = set(merged) & set(kwargs)
+    if duplicated:
+        raise TypeError(
+            "run_ensemble got multiple values for "
+            + ", ".join(sorted(duplicated))
+        )
+    merged.update(kwargs)
+    if merged.get("seeds") is not None and not merged["seeds"]:
+        raise ValueError("need at least one seed")
+    try:
+        spec = EnsembleSpec(**merged)
+    except TypeError as error:
+        raise TypeError(f"run_ensemble: {error}") from None
+    return execute_ensemble(spec)

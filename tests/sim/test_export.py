@@ -71,3 +71,77 @@ class TestMetricsCsv:
     def test_type_error(self):
         with pytest.raises(TypeError):
             metrics_to_csv([("x", object())])
+
+
+class TestJsonExport:
+    def make_summary(self):
+        from repro.sim.executor import EnsembleSummary, ExecutorStats, RunFailure
+
+        metrics = make_trace().metrics()
+        return EnsembleSummary(
+            label="oracle",
+            metrics=(metrics, metrics),
+            failures=(
+                RunFailure(seed=7, error="RuntimeError('x')",
+                           traceback="...", elapsed_s=0.1),
+            ),
+            stats=ExecutorStats(
+                backend="process", workers=2, total_runs=3, failed_runs=1,
+                wall_time_s=0.5, run_times_s=(0.1, 0.2, 0.1),
+            ),
+        )
+
+    def test_to_jsonable_primitives(self):
+        from repro.sim.export import to_jsonable
+
+        assert to_jsonable({"a": np.float64(1.5)}) == {"a": 1.5}
+        assert to_jsonable(np.arange(3)) == [0, 1, 2]
+        assert to_jsonable((1, 2)) == [1, 2]
+        assert to_jsonable(1 + 2j) == {"real": 1.0, "imag": 2.0}
+        assert to_jsonable(float("nan")) == "nan"
+
+    def test_summary_expanded(self):
+        from repro.sim.export import to_jsonable
+
+        payload = to_jsonable(self.make_summary())
+        assert payload["label"] == "oracle"
+        assert len(payload["runs"]) == 2
+        assert payload["runs"][0]["reliability"] == pytest.approx(
+            make_trace().metrics().reliability
+        )
+        assert payload["failures"][0]["seed"] == 7
+        assert payload["stats"]["failed_runs"] == 1
+        assert 0 < payload["stats"]["utilization"] <= 1
+        assert payload["summary"]["median_reliability"] <= 1.0
+
+    def test_result_json_round_trips(self):
+        import json
+
+        from repro.experiments.registry import (
+            ExperimentConfig,
+            ExperimentResult,
+        )
+        from repro.sim.export import result_to_json
+
+        result = ExperimentResult(
+            identifier="demo",
+            title="demo experiment",
+            config=ExperimentConfig(seeds=4, workers=2),
+            data={"summary": self.make_summary(), "grid": np.eye(2)},
+            elapsed_s=1.25,
+        )
+        parsed = json.loads(result_to_json(result))
+        assert parsed["identifier"] == "demo"
+        assert parsed["config"] == {"seeds": 4, "workers": 2}
+        assert parsed["data"]["grid"] == [[1.0, 0.0], [0.0, 1.0]]
+        assert parsed["data"]["summary"]["stats"]["backend"] == "process"
+
+    def test_write_result_json(self, tmp_path):
+        import json
+
+        from repro.sim.export import write_result_json
+
+        target = tmp_path / "result.json"
+        with open(target, "w", encoding="utf-8") as stream:
+            write_result_json({"x": np.float32(2.0)}, stream)
+        assert json.loads(target.read_text()) == {"x": 2.0}

@@ -178,7 +178,10 @@ class TestEnsembleRunner:
             return OracleBeam(array=array, sounder=sounder)
 
         summary = run_ensemble(
-            "oracle", scenario_factory, manager_factory, seeds=[0, 1, 2],
+            label="oracle",
+            scenario_factory=scenario_factory,
+            manager_factory=manager_factory,
+            seeds=[0, 1, 2],
             duration_s=0.1,
         )
         assert summary.label == "oracle"
@@ -189,7 +192,12 @@ class TestEnsembleRunner:
 
     def test_empty_seeds_rejected(self, array):
         with pytest.raises(ValueError):
-            run_ensemble("x", lambda s: None, lambda s: None, seeds=[])
+            run_ensemble(
+                label="x",
+                scenario_factory=lambda s: None,
+                manager_factory=lambda s: None,
+                seeds=[],
+            )
 
     def test_empty_metrics_rejected(self):
         with pytest.raises(ValueError):

@@ -62,3 +62,73 @@ class TestCli:
         arguments = build_parser().parse_args(["run", "fig14"])
         assert arguments.command == "run"
         assert arguments.experiment == "fig14"
+
+
+class TestStructuredExperimentApi:
+    def test_run_returns_structured_result(self):
+        from repro.experiments.registry import (
+            ExperimentConfig,
+            ExperimentResult,
+        )
+
+        experiment = get_experiment("reliability")
+        result = experiment.run()
+        assert isinstance(result, ExperimentResult)
+        assert result.identifier == "reliability"
+        assert result.config == ExperimentConfig()
+        assert set(result.data) == {"analytic", "monte_carlo"}
+        assert result.elapsed_s > 0
+
+    def test_render_accepts_result_or_data(self):
+        experiment = get_experiment("reliability")
+        result = experiment.run()
+        assert experiment.render(result) == experiment.render(result.data)
+        assert "1 - beta^k" in experiment.render(result)
+
+    def test_run_report_still_composes(self):
+        experiment = get_experiment("reliability")
+        assert "1 - beta^k" in experiment.run_report()
+
+    def test_config_validation(self):
+        from repro.experiments.registry import ExperimentConfig
+
+        with pytest.raises(ValueError):
+            ExperimentConfig(seeds=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(workers=0)
+        assert ExperimentConfig(seeds=5).seed_range(10) == range(5)
+        assert ExperimentConfig().seed_range(10) == range(10)
+
+
+class TestCliStructuredFlags:
+    def test_parser_accepts_new_flags(self):
+        arguments = build_parser().parse_args(
+            ["run", "fig18", "--workers", "4", "--seeds", "32",
+             "--json", "/tmp/out.json"]
+        )
+        assert arguments.workers == 4
+        assert arguments.seeds == 32
+        assert arguments.json_path == "/tmp/out.json"
+
+    def test_parser_flag_defaults(self):
+        arguments = build_parser().parse_args(["run", "fig14"])
+        assert arguments.workers == 1
+        assert arguments.seeds is None
+        assert arguments.json_path is None
+
+    def test_run_with_json_dump(self, tmp_path):
+        import json
+
+        target = tmp_path / "reliability.json"
+        out = io.StringIO()
+        assert command_run("reliability", json_path=str(target), out=out) == 0
+        assert f"{target}" in out.getvalue()
+        parsed = json.loads(target.read_text())
+        assert parsed["identifier"] == "reliability"
+        assert parsed["config"] == {"seeds": None, "workers": 1}
+        assert "analytic" in parsed["data"]
+
+    def test_run_rejects_bad_workers(self):
+        out = io.StringIO()
+        assert command_run("reliability", workers=0, out=out) == 2
+        assert "error" in out.getvalue()
