@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.arrays.geometry import UniformLinearArray
 from repro.arrays.steering import single_beam_weights
-from repro.baselines.reactive import BaselineReport
+from repro.baselines.reactive import BaselineReport, emit_retrain
 from repro.beamtraining.base import top_k_directions
 from repro.channel.geometric import GeometricChannel
 from repro.phy.mcs import OUTAGE_SNR_DB
@@ -62,6 +62,7 @@ class BeamSpySingleBeam:
         self.profile = list(zip(angles, powers))
         self.beam_angle_rad = angles[0]
         self._outage_since = None
+        emit_retrain(self, time_s, result.num_probes)
         return self.beam_angle_rad
 
     def current_weights(self) -> np.ndarray:

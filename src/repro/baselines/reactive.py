@@ -21,6 +21,21 @@ from repro.channel.geometric import GeometricChannel
 from repro.phy.mcs import OUTAGE_SNR_DB
 from repro.phy.ofdm import ChannelSounder
 from repro.phy.reference_signals import ProbeBudget, ssb_duration_s
+from repro.telemetry import EventKind, get_recorder
+
+
+def emit_retrain(manager, time_s: float, num_probes: int) -> None:
+    """Telemetry hook shared by every baseline's establish path."""
+    recorder = get_recorder()
+    if recorder.enabled:
+        recorder.emit(
+            EventKind.BEAM_RETRAIN,
+            time_s,
+            manager=type(manager).__name__,
+            num_probes=int(num_probes),
+            round=manager.training_rounds,
+        )
+        recorder.counter("maintenance.retrains").inc()
 
 
 @dataclass(frozen=True)
@@ -68,6 +83,7 @@ class ReactiveSingleBeam:
         )
         self.beam_angle_rad = result.best_angle_rad
         self._outage_since = None
+        emit_retrain(self, time_s, result.num_probes)
         return self.beam_angle_rad
 
     def current_weights(self) -> np.ndarray:

@@ -17,7 +17,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.arrays.geometry import UniformLinearArray
-from repro.baselines.reactive import BaselineReport
+from repro.baselines.reactive import BaselineReport, emit_retrain
 from repro.channel.geometric import GeometricChannel
 from repro.phy.mcs import OUTAGE_SNR_DB
 from repro.phy.ofdm import ChannelSounder
@@ -58,6 +58,7 @@ class WideBeam:
         )
         self.beam_angle_rad = result.best_angle_rad
         self._bad_streak = 0
+        emit_retrain(self, time_s, result.num_probes)
         return self.beam_angle_rad
 
     def current_weights(self) -> np.ndarray:

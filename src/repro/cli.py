@@ -1,4 +1,4 @@
-"""Command-line interface: list and run the paper's experiments.
+"""Command-line interface: list, run, and trace the paper's experiments.
 
 Usage::
 
@@ -6,12 +6,16 @@ Usage::
     python -m repro run fig14
     python -m repro run all
     python -m repro run fig18 --workers 4 --seeds 32 --json fig18.json
+    python -m repro run fig16 --trace fig16.jsonl
+    python -m repro trace fig16.jsonl --kind blockage_onset
 
 ``--workers`` fans ensemble seed-runs out over the parallel executor,
 ``--seeds`` overrides the Monte-Carlo seed count for ensemble-backed
-experiments, and ``--json`` dumps the structured
+experiments, ``--json`` dumps the structured
 :class:`~repro.experiments.registry.ExperimentResult` for downstream
-tooling.
+tooling, and ``--trace`` records link telemetry (probe transmissions,
+blockage onsets, beam retrains, MCS switches, ...) as JSONL.  ``repro
+trace`` renders a recorded JSONL file as a human-readable timeline.
 """
 
 from __future__ import annotations
@@ -62,6 +66,33 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the structured result(s) as JSON to PATH",
     )
+    run.add_argument(
+        "--trace",
+        dest="trace_path",
+        default=None,
+        metavar="PATH",
+        help="record link telemetry events as JSONL to PATH",
+    )
+    trace = commands.add_parser(
+        "trace", help="render a recorded telemetry trace as a timeline"
+    )
+    trace.add_argument(
+        "trace_file",
+        help="JSONL trace recorded with 'repro run ... --trace'",
+    )
+    trace.add_argument(
+        "--kind",
+        default=None,
+        metavar="KIND",
+        help="only show events of this kind (e.g. blockage_onset)",
+    )
+    trace.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show at most N events per run",
+    )
     return parser
 
 
@@ -77,6 +108,7 @@ def command_run(
     workers: int = 1,
     seeds: Optional[int] = None,
     json_path: Optional[str] = None,
+    trace_path: Optional[str] = None,
     out=sys.stdout,
 ) -> int:
     if identifier == "all":
@@ -84,33 +116,83 @@ def command_run(
     else:
         identifiers = [identifier]
     try:
-        config = ExperimentConfig(seeds=seeds, workers=workers)
+        config = ExperimentConfig(
+            seeds=seeds, workers=workers, telemetry=trace_path is not None
+        )
     except ValueError as error:
         out.write(f"error: {error}\n")
         return 2
-    results = []
-    for name in identifiers:
-        try:
-            experiment = get_experiment(name)
-        except KeyError as error:
-            out.write(f"error: {error}\n")
-            return 2
-        out.write(f"== {experiment.title} ==\n")
-        result = experiment.run(config)
-        results.append(result)
-        out.write(experiment.render(result) + "\n")
-        out.write(f"-- completed in {result.elapsed_s:.1f} s --\n\n")
-    if json_path is not None:
-        from repro.sim.export import write_result_json
 
-        payload = results[0] if len(results) == 1 else results
-        try:
-            with open(json_path, "w", encoding="utf-8") as stream:
-                write_result_json(payload, stream)
-        except OSError as error:
-            out.write(f"error: cannot write {json_path}: {error}\n")
-            return 2
-        out.write(f"-- wrote structured results to {json_path} --\n")
+    recorder = None
+    if trace_path is not None:
+        from repro.telemetry import TelemetryRecorder
+
+        recorder = TelemetryRecorder()
+
+    def _run_all() -> int:
+        results = []
+        for name in identifiers:
+            try:
+                experiment = get_experiment(name)
+            except KeyError as error:
+                out.write(f"error: {error}\n")
+                return 2
+            out.write(f"== {experiment.title} ==\n")
+            result = experiment.run(config)
+            results.append(result)
+            out.write(experiment.render(result) + "\n")
+            out.write(f"-- completed in {result.elapsed_s:.1f} s --\n\n")
+        if json_path is not None:
+            from repro.sim.export import write_result_json
+
+            payload = results[0] if len(results) == 1 else results
+            try:
+                with open(json_path, "w", encoding="utf-8") as stream:
+                    write_result_json(payload, stream)
+            except OSError as error:
+                out.write(f"error: cannot write {json_path}: {error}\n")
+                return 2
+            out.write(f"-- wrote structured results to {json_path} --\n")
+        return 0
+
+    if recorder is None:
+        return _run_all()
+
+    from repro.telemetry import use_recorder, write_events_jsonl
+
+    with use_recorder(recorder):
+        status = _run_all()
+    if status != 0:
+        return status
+    try:
+        with open(trace_path, "w", encoding="utf-8") as stream:
+            count = write_events_jsonl(recorder.events, stream)
+    except OSError as error:
+        out.write(f"error: cannot write {trace_path}: {error}\n")
+        return 2
+    out.write(f"-- wrote {count} telemetry events to {trace_path} --\n")
+    return 0
+
+
+def command_trace(
+    trace_file: str,
+    kind: Optional[str] = None,
+    limit: Optional[int] = None,
+    out=sys.stdout,
+) -> int:
+    from repro.telemetry import read_events_jsonl, render_timeline
+
+    try:
+        with open(trace_file, "r", encoding="utf-8") as stream:
+            events = read_events_jsonl(stream)
+    except OSError as error:
+        out.write(f"error: cannot read {trace_file}: {error}\n")
+        return 2
+    except ValueError as error:
+        out.write(f"error: {trace_file}: {error}\n")
+        return 2
+    out.write(render_timeline(events, kind=kind, limit=limit))
+    out.write("\n")
     return 0
 
 
@@ -119,11 +201,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if arguments.command == "list":
             return command_list()
+        if arguments.command == "trace":
+            return command_trace(
+                arguments.trace_file,
+                kind=arguments.kind,
+                limit=arguments.limit,
+            )
         return command_run(
             arguments.experiment,
             workers=arguments.workers,
             seeds=arguments.seeds,
             json_path=arguments.json_path,
+            trace_path=arguments.trace_path,
         )
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; not an error.

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.multibeam import MultiBeam
+from repro.telemetry import EventKind, get_recorder
 
 
 @dataclass
@@ -119,21 +120,55 @@ class BlockageDetector:
                     self._breach_streak[k] = 0
                     # Remember the healthy level from the window start.
                     self._pre_blockage_db[k] = window_max
+                    recorder = get_recorder()
+                    if recorder.enabled:
+                        recorder.emit(
+                            EventKind.BLOCKAGE_ONSET,
+                            time_s,
+                            beam=k,
+                            power_db=float(power_db),
+                            healthy_db=float(window_max),
+                        )
             else:
                 reference = self._pre_blockage_db.get(k, window_max)
                 if float(power_db) >= reference - self.recovery_margin_db:
                     self._blocked[k] = False
                     self._pre_blockage_db.pop(k, None)
+                    recorder = get_recorder()
+                    if recorder.enabled:
+                        recorder.emit(
+                            EventKind.BLOCKAGE_CLEARED,
+                            time_s,
+                            beam=k,
+                            power_db=float(power_db),
+                            via="power_recovery",
+                        )
         return self.blocked_mask
 
-    def mark_recovered(self, beam_index: int) -> None:
-        """Externally clear a beam's blocked state (after a recovery probe)."""
+    def mark_recovered(
+        self, beam_index: int, time_s: Optional[float] = None
+    ) -> None:
+        """Externally clear a beam's blocked state (after a recovery probe).
+
+        ``time_s`` stamps the ``blockage_cleared`` telemetry event; when
+        omitted the recovery is applied silently (no event).
+        """
         if not 0 <= beam_index < self.num_beams:
             raise IndexError(f"beam index {beam_index} out of range")
+        was_blocked = bool(self._blocked[beam_index])
         self._blocked[beam_index] = False
         self._pre_blockage_db.pop(beam_index, None)
         self._history[beam_index].clear()
         self._breach_streak[beam_index] = 0
+        if was_blocked and time_s is not None:
+            recorder = get_recorder()
+            if recorder.enabled:
+                recorder.emit(
+                    EventKind.BLOCKAGE_CLEARED,
+                    time_s,
+                    beam=beam_index,
+                    via="recovery_probe",
+                )
 
     def healthy_level_db(self, beam_index: int) -> Optional[float]:
         """The pre-blockage power of a blocked beam, if known."""

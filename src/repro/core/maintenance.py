@@ -43,6 +43,7 @@ from repro.core.tracking import MultiBeamTracker
 from repro.phy.mcs import OUTAGE_SNR_DB
 from repro.phy.ofdm import ChannelSounder
 from repro.phy.reference_signals import ProbeBudget, ProbeKind, ssb_duration_s
+from repro.telemetry import EventKind, get_recorder
 
 #: Placeholder per-beam power [dB] for beams not transmitting this round.
 SILENT_POWER_DB = -300.0
@@ -126,11 +127,24 @@ class MultiBeamManager:
     # ------------------------------------------------------------------
     def establish(self, channel: GeometricChannel, time_s: float = 0.0) -> MultiBeam:
         """Beam-train, probe, and stand up the constructive multi-beam."""
-        result = self.trainer.train(channel, budget=self.budget, time_s=time_s)
+        recorder = get_recorder()
+        with recorder.timer("maintenance.establish_s"):
+            result = self.trainer.train(
+                channel, budget=self.budget, time_s=time_s
+            )
         self.training_rounds += 1
         self.training_windows.append(
             (time_s, result.num_probes * ssb_duration_s(self.budget.numerology))
         )
+        if recorder.enabled:
+            recorder.emit(
+                EventKind.BEAM_RETRAIN,
+                time_s,
+                manager=type(self).__name__,
+                num_probes=int(result.num_probes),
+                round=self.training_rounds,
+            )
+            recorder.counter("maintenance.retrains").inc()
         angles, _powers = top_k_directions(
             result, self.num_beams, self.min_beam_separation_rad,
             interpolate=True,
@@ -228,6 +242,15 @@ class MultiBeamManager:
         sr = self._resolver.estimate(cir, active_indices=np.where(active)[0])
         powers_db = sr.per_beam_power_db(floor_db=SILENT_POWER_DB)
         powers_db = np.where(active, powers_db, SILENT_POWER_DB)
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.emit(
+                EventKind.PER_BEAM_POWER_ESTIMATE,
+                time_s,
+                powers_db=[float(p) for p in powers_db],
+                active=[bool(a) for a in active],
+                snr_db=float(snr_db),
+            )
         blocked = self._detector.update(time_s, powers_db, active_mask=active)
 
         if blocked.all() or snr_db < OUTAGE_SNR_DB - 3.0:
@@ -389,7 +412,7 @@ class MultiBeamManager:
                 best_power_db
                 >= self._healthy_power_db[int(k)] - self.recovery_margin_db
             ):
-                self._detector.mark_recovered(int(k))
+                self._detector.mark_recovered(int(k), time_s=time_s)
                 if best_angle != base_angle:
                     angles = list(self.multibeam.angles_rad)
                     angles[int(k)] = best_angle

@@ -30,6 +30,7 @@ from repro.channel.geometric import GeometricChannel
 from repro.core.multibeam import equal_split_probe_weights
 from repro.phy.ofdm import ChannelSounder
 from repro.phy.reference_signals import ProbeBudget, ProbeKind
+from repro.telemetry import get_recorder
 
 
 def two_probe_ratio(p1, p2, p3, p4):
@@ -181,6 +182,10 @@ class ProbeController:
             safe_p1 = np.maximum(p1, np.max(p1) * 1e-6)
             ratio = two_probe_ratio(safe_p1, pk, p3, p4)
             gains.append(wideband_relative_gain(ratio, safe_p1))
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.counter("probing.gain_rounds").inc()
+            recorder.counter("probing.probes_spent").inc(probes_used)
         return RelativeGainEstimate(
             angles_rad=tuple(angles),
             relative_gains=tuple(gains),

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.arrays.patterns import invert_pattern_offset
 from repro.core.multibeam import MultiBeam
+from repro.telemetry import EventKind, get_recorder
 
 
 @dataclass
@@ -220,10 +221,33 @@ class MultiBeamTracker:
         plus, minus = self.candidate_multibeams(multibeam, offsets)
         plus_snr = snr_probe(plus)
         if plus_snr >= current_snr_db:
+            self._emit_update(time_s, offsets, "+", plus_snr, current_snr_db)
             return plus, 1
         minus_snr = snr_probe(minus)
         if minus_snr >= current_snr_db:
+            self._emit_update(time_s, offsets, "-", minus_snr, current_snr_db)
             return minus, 2
         # Neither hypothesis helps: the drop was not mobility (e.g. a deep
         # fade or the smoothing lagging a blockage edge) — hold position.
         return multibeam, 2
+
+    @staticmethod
+    def _emit_update(
+        time_s: float,
+        offsets_rad: np.ndarray,
+        sign: str,
+        refined_snr_db: float,
+        previous_snr_db: float,
+    ) -> None:
+        recorder = get_recorder()
+        if not recorder.enabled:
+            return
+        recorder.emit(
+            EventKind.TRACKING_UPDATE,
+            time_s,
+            offsets_deg=[float(np.rad2deg(o)) for o in offsets_rad],
+            sign=sign,
+            snr_db=float(refined_snr_db),
+            previous_snr_db=float(previous_snr_db),
+        )
+        recorder.counter("tracking.realignments").inc()

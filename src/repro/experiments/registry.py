@@ -19,6 +19,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.telemetry import (
+    TelemetryRecorder,
+    TelemetrySummary,
+    get_recorder,
+    use_recorder,
+)
+
 
 @dataclass(frozen=True)
 class ExperimentConfig:
@@ -27,11 +34,14 @@ class ExperimentConfig:
     ``seeds`` overrides the number of Monte-Carlo seeds for experiments
     built on ensembles (``fig18``, ``robustness``); ``workers`` sets the
     ensemble executor's process-pool width.  Experiments without an
-    ensemble ignore both.
+    ensemble ignore both.  ``telemetry`` collects link events and
+    metrics during the run and attaches a
+    :class:`~repro.telemetry.TelemetrySummary` to the result.
     """
 
     seeds: Optional[int] = None
     workers: int = 1
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.seeds is not None and self.seeds < 1:
@@ -56,6 +66,7 @@ class ExperimentResult:
     config: ExperimentConfig
     data: Dict[str, Any]
     elapsed_s: float
+    telemetry: Optional[TelemetrySummary] = None
 
 
 @dataclass(frozen=True)
@@ -68,16 +79,38 @@ class Experiment:
     renderer: Callable[[Dict[str, Any]], str] = field(repr=False)
 
     def run(self, config: Optional[ExperimentConfig] = None) -> ExperimentResult:
-        """Produce the experiment's structured data, with timing."""
+        """Produce the experiment's structured data, with timing.
+
+        With ``config.telemetry`` set, link events and metrics are
+        collected while the runner executes and summarized onto the
+        result.  If the calling process already has an active recorder
+        (e.g. the CLI's ``--trace``), events flow into it and the
+        summary covers just this experiment's slice; otherwise a private
+        recorder is installed for the duration of the run.
+        """
         config = DEFAULT_CONFIG if config is None else config
+        active = get_recorder()
+        telemetry_summary: Optional[TelemetrySummary] = None
         started = time.perf_counter()
-        data = self.runner(config)
+        if active.enabled:
+            mark = active.mark()
+            data = self.runner(config)
+            if config.telemetry:
+                telemetry_summary = active.summary(since=mark)
+        elif config.telemetry:
+            recorder = TelemetryRecorder(scope=self.identifier)
+            with use_recorder(recorder):
+                data = self.runner(config)
+            telemetry_summary = recorder.summary()
+        else:
+            data = self.runner(config)
         return ExperimentResult(
             identifier=self.identifier,
             title=self.title,
             config=config,
             data=data,
             elapsed_s=time.perf_counter() - started,
+            telemetry=telemetry_summary,
         )
 
     def render(self, result) -> str:

@@ -25,6 +25,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from repro.phy.numerology import FR2_120KHZ, Numerology
+from repro.telemetry import EventKind, get_recorder
 
 #: Slots occupied by one SSB (four slots, TS 38.213 beam sweep pattern).
 SSB_SLOTS = 4
@@ -134,6 +135,12 @@ class ProbeBudget:
             raise ValueError(f"count must be >= 0, got {count!r}")
         self.counts[kind] = self.counts.get(kind, 0) + count
         self.log.extend((time_s, kind) for _ in range(count))
+        recorder = get_recorder()
+        if recorder.enabled and count:
+            recorder.emit(
+                EventKind.PROBE_TX, time_s, probe=kind.value, count=count
+            )
+            recorder.counter(f"probes.{kind.value}").inc(count)
 
     def total_probes(self, kind: ProbeKind = None) -> int:
         if kind is not None:

@@ -35,6 +35,12 @@ import numpy as np
 
 from repro.sim.link import LinkSimulator
 from repro.sim.metrics import LinkMetrics
+from repro.telemetry import (
+    TelemetryRecorder,
+    TelemetrySummary,
+    get_recorder,
+    use_recorder,
+)
 
 __all__ = [
     "EnsembleError",
@@ -121,6 +127,9 @@ class EnsembleSummary:
     metrics: tuple
     failures: Tuple[RunFailure, ...] = ()
     stats: Optional[ExecutorStats] = None
+    #: Merged across every seed-run's recorder (``None`` when telemetry
+    #: was disabled for the ensemble).
+    telemetry: Optional[TelemetrySummary] = None
 
     def __post_init__(self) -> None:
         if not self.metrics:
@@ -194,6 +203,11 @@ class EnsembleSpec:
     maintenance_period_s: float = 5e-3
     workers: int = 1
     max_failure_fraction: float = 0.5
+    #: Collect per-run telemetry (events + metrics) inside every worker
+    #: and merge it into :attr:`EnsembleSummary.telemetry`.  Telemetry is
+    #: also collected when the calling process already has an active
+    #: recorder (``repro run --trace``), regardless of this flag.
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -248,11 +262,18 @@ def _run_one_seed(payload: tuple) -> tuple:
 
     Module-level so the process pool can pickle it by reference.  The
     traceback is captured inside the worker, where the frames still
-    exist, and shipped back as a string.
+    exist, and shipped back as a string.  When telemetry is requested, a
+    recorder scoped to ``"<label>/seed<n>"`` is installed for the run and
+    its summary + raw events ship back as plain picklable data.
     """
-    (seed, scenario_factory, manager_factory, duration_s,
-     sample_period_s, maintenance_period_s) = payload
+    (seed, label, scenario_factory, manager_factory, duration_s,
+     sample_period_s, maintenance_period_s, collect_telemetry) = payload
     started = time.perf_counter()
+    recorder = (
+        TelemetryRecorder(scope=f"{label}/seed{int(seed)}")
+        if collect_telemetry
+        else None
+    )
     try:
         simulator = LinkSimulator(
             scenario=scenario_factory(int(seed)),
@@ -261,7 +282,11 @@ def _run_one_seed(payload: tuple) -> tuple:
             sample_period_s=sample_period_s,
             maintenance_period_s=maintenance_period_s,
         )
-        metrics = simulator.run().metrics()
+        if recorder is not None:
+            with use_recorder(recorder):
+                metrics = simulator.run().metrics()
+        else:
+            metrics = simulator.run().metrics()
     except Exception as error:  # per-seed fault tolerance
         return (
             "failure",
@@ -272,7 +297,18 @@ def _run_one_seed(payload: tuple) -> tuple:
                 elapsed_s=time.perf_counter() - started,
             ),
         )
-    return ("success", int(seed), metrics, time.perf_counter() - started)
+    run_telemetry = (
+        None
+        if recorder is None
+        else (recorder.summary(), tuple(recorder.events))
+    )
+    return (
+        "success",
+        int(seed),
+        metrics,
+        time.perf_counter() - started,
+        run_telemetry,
+    )
 
 
 def _resolve_backend(spec: EnsembleSpec) -> str:
@@ -300,14 +336,18 @@ def execute_ensemble(spec: EnsembleSpec) -> EnsembleSummary:
     exceeds ``spec.max_failure_fraction`` or no run succeeded.
     """
     backend = _resolve_backend(spec)
+    parent_recorder = get_recorder()
+    collect_telemetry = spec.telemetry or parent_recorder.enabled
     payloads = [
         (
             seed,
+            spec.label,
             spec.scenario_factory,
             spec.manager_factory,
             spec.duration_s,
             spec.sample_period_s,
             spec.maintenance_period_s,
+            collect_telemetry,
         )
         for seed in spec.seeds
     ]
@@ -323,11 +363,18 @@ def execute_ensemble(spec: EnsembleSpec) -> EnsembleSummary:
     metrics: List[LinkMetrics] = []
     failures: List[RunFailure] = []
     run_times: List[float] = []
+    run_summaries: List[TelemetrySummary] = []
     for outcome in outcomes:
         if outcome[0] == "success":
-            _, _, run_metrics, elapsed_s = outcome
+            _, _, run_metrics, elapsed_s, run_telemetry = outcome
             metrics.append(run_metrics)
             run_times.append(elapsed_s)
+            if run_telemetry is not None:
+                summary, events = run_telemetry
+                run_summaries.append(summary)
+                if parent_recorder.enabled:
+                    # Per-seed logs flow back into the caller's trace.
+                    parent_recorder.absorb(events)
         else:
             failures.append(outcome[1])
             run_times.append(outcome[1].elapsed_s)
@@ -350,6 +397,11 @@ def execute_ensemble(spec: EnsembleSpec) -> EnsembleSummary:
         metrics=tuple(metrics),
         failures=tuple(failures),
         stats=stats,
+        telemetry=(
+            TelemetrySummary.merge(run_summaries)
+            if collect_telemetry and run_summaries
+            else None
+        ),
     )
 
 

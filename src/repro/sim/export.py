@@ -119,6 +119,8 @@ def _summary_to_jsonable(summary: EnsembleSummary) -> dict:
         stats["utilization"] = summary.stats.utilization
         stats["runs_per_second"] = summary.stats.runs_per_second
         payload["stats"] = stats
+    if summary.telemetry is not None:
+        payload["telemetry"] = to_jsonable(summary.telemetry)
     return payload
 
 
@@ -130,11 +132,20 @@ def to_jsonable(value: Any) -> Any:
     :class:`EnsembleSummary` (expanded with its derived statistics),
     numpy arrays/scalars, complex numbers, and nested containers.
     Anything unrecognized degrades to ``repr``.
+
+    Non-finite floats never leak into the output: NaN maps to ``None``
+    and infinities to the string sentinels ``"Infinity"`` /
+    ``"-Infinity"``, so the result survives strict JSON
+    (``allow_nan=False``) and non-Python consumers.
     """
     if value is None or isinstance(value, (bool, int, str)):
         return value
     if isinstance(value, float):
-        return value if np.isfinite(value) else repr(value)
+        if np.isnan(value):
+            return None
+        if np.isinf(value):
+            return "Infinity" if value > 0 else "-Infinity"
+        return value
     if isinstance(value, EnsembleSummary):
         return _summary_to_jsonable(value)
     if isinstance(value, np.ndarray):
@@ -142,7 +153,10 @@ def to_jsonable(value: Any) -> Any:
     if isinstance(value, np.generic):
         return to_jsonable(value.item())
     if isinstance(value, complex):
-        return {"real": value.real, "imag": value.imag}
+        return {
+            "real": to_jsonable(value.real),
+            "imag": to_jsonable(value.imag),
+        }
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {
             field.name: to_jsonable(getattr(value, field.name))
@@ -159,7 +173,7 @@ def to_jsonable(value: Any) -> Any:
 
 def result_to_json(result: Any, indent: int = 2) -> str:
     """A structured experiment result (or list of them) as JSON text."""
-    return json.dumps(to_jsonable(result), indent=indent)
+    return json.dumps(to_jsonable(result), indent=indent, allow_nan=False)
 
 
 def write_result_json(result: Any, stream: TextIO, indent: int = 2) -> None:

@@ -20,7 +20,9 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.phy.mcs import select_mcs
 from repro.sim.metrics import LinkMetrics
+from repro.telemetry import EventKind, get_recorder
 
 
 @dataclass(frozen=True)
@@ -77,21 +79,52 @@ class LinkSimulator:
         snr = np.empty(times.shape)
         actions: List[Tuple[float, str]] = []
 
+        recorder = get_recorder()
+        tracing = recorder.enabled
+        if tracing:
+            recorder.begin_run(type(self.manager).__name__, time_s=0.0)
+        last_mcs: Optional[int] = None
+
         initial = self.scenario.channel_at(0.0)
-        self.manager.establish(initial, time_s=0.0)
+        with recorder.timer("sim.establish_s"):
+            self.manager.establish(initial, time_s=0.0)
         next_maintenance = self.maintenance_period_s
 
         for i, t in enumerate(times):
             channel = self.scenario.channel_at(float(t))
             if t >= next_maintenance:
-                report = self.manager.step(channel, time_s=float(t))
+                with recorder.timer("sim.maintenance_step_s"):
+                    report = self.manager.step(channel, time_s=float(t))
                 if getattr(report, "action", "none") != "none":
                     actions.append((float(t), report.action))
                 next_maintenance += self.maintenance_period_s
             snr[i] = self.manager.link_snr_db(channel)
+            if tracing:
+                entry = select_mcs(float(snr[i]))
+                index = None if entry is None else entry.index
+                if index != last_mcs:
+                    recorder.emit(
+                        EventKind.MCS_SWITCH,
+                        float(t),
+                        mcs=-1 if index is None else index,
+                        modulation=(
+                            "outage" if entry is None else entry.modulation
+                        ),
+                        snr_db=float(snr[i]),
+                    )
+                    last_mcs = index
 
         budget = getattr(self.manager, "budget", None)
         probe_airtime = budget.airtime_s() if budget is not None else 0.0
+        if tracing:
+            recorder.counter("sim.samples").inc(len(times))
+            recorder.end_run(
+                float(self.duration_s),
+                samples=len(times),
+                actions=len(actions),
+                mean_snr_db=float(np.mean(snr)) if len(snr) else 0.0,
+                probe_airtime_s=float(probe_airtime),
+            )
         return SimulationTrace(
             times_s=times,
             snr_db=snr,

@@ -13,12 +13,11 @@ historical entry point.  Preferred usage is a single
     summary = run_ensemble(spec)
 
 The keyword form ``run_ensemble(label=..., scenario_factory=..., ...)``
-remains supported; passing the factories *positionally* is deprecated.
+remains supported; the old positional-factory form has been removed and
+now raises :class:`TypeError`.
 """
 
 from __future__ import annotations
-
-import warnings
 
 from repro.sim.executor import (
     EnsembleError,
@@ -38,65 +37,42 @@ __all__ = [
     "run_ensemble",
 ]
 
-#: Keyword names of the historical positional signature, in order.
-_LEGACY_PARAMETERS = (
-    "label",
-    "scenario_factory",
-    "manager_factory",
-    "seeds",
-    "duration_s",
-    "sample_period_s",
-    "maintenance_period_s",
-)
-
-
-def run_ensemble(*args, **kwargs) -> EnsembleSummary:
+def run_ensemble(spec=None, /, **kwargs) -> EnsembleSummary:
     """Run one (scenario, manager) pairing across seeds and summarize.
 
     Accepts either a single :class:`EnsembleSpec`::
 
         run_ensemble(EnsembleSpec(label=..., ..., workers=4))
 
-    or the historical keyword signature (``label``,
-    ``scenario_factory``, ``manager_factory``, ``seeds``,
-    ``duration_s``, ``sample_period_s``, ``maintenance_period_s``) plus
-    the executor knobs ``workers`` and ``max_failure_fraction``.  Both
-    factories receive the seed so scenario randomness (blockage timing,
-    environment draw) and manager randomness (probe noise) are
-    reproducible per run.
+    or the keyword signature (``label``, ``scenario_factory``,
+    ``manager_factory``, ``seeds``, ``duration_s``, ``sample_period_s``,
+    ``maintenance_period_s``) plus the executor knobs ``workers`` and
+    ``max_failure_fraction``.  Both factories receive the seed so
+    scenario randomness (blockage timing, environment draw) and manager
+    randomness (probe noise) are reproducible per run.
+
+    The historical positional-factory form has been removed; passing
+    anything positionally other than an :class:`EnsembleSpec` raises
+    :class:`TypeError`.
     """
-    if args and isinstance(args[0], EnsembleSpec):
-        if len(args) > 1 or kwargs:
+    if spec is not None:
+        if not isinstance(spec, EnsembleSpec):
+            raise TypeError(
+                "run_ensemble takes an EnsembleSpec or keyword arguments; "
+                f"the positional form is no longer supported (got "
+                f"{type(spec).__name__!r})"
+            )
+        if kwargs:
             raise TypeError(
                 "run_ensemble(spec) takes no additional arguments; "
                 "use spec.with_options(...) to override fields"
             )
-        return execute_ensemble(args[0])
+        return execute_ensemble(spec)
 
-    if len(args) > len(_LEGACY_PARAMETERS):
-        raise TypeError(
-            f"run_ensemble takes at most {len(_LEGACY_PARAMETERS)} "
-            f"positional arguments ({len(args)} given)"
-        )
-    if len(args) > 1:
-        warnings.warn(
-            "passing run_ensemble factories positionally is deprecated; "
-            "pass an EnsembleSpec (or keyword arguments) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-    merged = dict(zip(_LEGACY_PARAMETERS, args))
-    duplicated = set(merged) & set(kwargs)
-    if duplicated:
-        raise TypeError(
-            "run_ensemble got multiple values for "
-            + ", ".join(sorted(duplicated))
-        )
-    merged.update(kwargs)
-    if merged.get("seeds") is not None and not merged["seeds"]:
+    if kwargs.get("seeds") is not None and not kwargs["seeds"]:
         raise ValueError("need at least one seed")
     try:
-        spec = EnsembleSpec(**merged)
+        built = EnsembleSpec(**kwargs)
     except TypeError as error:
         raise TypeError(f"run_ensemble: {error}") from None
-    return execute_ensemble(spec)
+    return execute_ensemble(built)

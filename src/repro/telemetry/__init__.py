@@ -1,0 +1,70 @@
+"""Link-event tracing, metrics, and profiling for the reproduction.
+
+Three pieces:
+
+* an **event bus** — typed, simulation-time-stamped :class:`Event`
+  records (``probe_tx``, ``blockage_onset``, ``beam_retrain``,
+  ``mcs_switch``, ...) collected on an :class:`EventLog`;
+* a **metrics registry** — counters, gauges, histograms, and ``timer()``
+  context managers, free when telemetry is disabled (the
+  :class:`NullRecorder` backs every instrumentation site by default);
+* **exporters** — JSONL trace files, the mergeable
+  :class:`TelemetrySummary` digest the executor aggregates across pool
+  workers, and a human-readable timeline renderer.
+
+Quickstart::
+
+    from repro.telemetry import TelemetryRecorder, use_recorder
+
+    with use_recorder(TelemetryRecorder()) as recorder:
+        LinkSimulator(scenario=..., manager=...).run()
+    print(recorder.summary().describe())
+
+or from the CLI: ``repro run fig16 --trace out.jsonl`` then
+``repro trace out.jsonl``.
+"""
+
+from repro.telemetry.events import Event, EventKind, EventLog, KNOWN_KINDS
+from repro.telemetry.export import (
+    event_to_jsonable,
+    read_events_jsonl,
+    render_timeline,
+    write_events_jsonl,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    TelemetryRecorder,
+    get_recorder,
+    set_recorder,
+    use_recorder,
+)
+from repro.telemetry.summary import TelemetrySummary
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventLog",
+    "KNOWN_KINDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "TelemetryRecorder",
+    "TelemetrySummary",
+    "get_recorder",
+    "set_recorder",
+    "use_recorder",
+    "event_to_jsonable",
+    "read_events_jsonl",
+    "render_timeline",
+    "write_events_jsonl",
+]

@@ -1,0 +1,118 @@
+"""Trace exporters: JSONL event files and a human-readable timeline.
+
+JSONL (one JSON object per line) keeps traces streamable and greppable:
+
+    {"time_s": 0.005, "kind": "probe_tx", "run": "fig16#0", ...}
+
+``read_events_jsonl`` is the exact inverse, so traces round-trip.  The
+timeline renderer is what ``repro trace <file>`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, TextIO
+
+import numpy as np
+
+from repro.telemetry.events import Event, EventLog
+
+
+def _plain(value):
+    """Degrade numpy scalars/arrays (and containers) to JSON-safe types."""
+    if isinstance(value, np.ndarray):
+        return [_plain(item) for item in value.tolist()]
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return None
+        if value in (float("inf"), float("-inf")):
+            return "Infinity" if value > 0 else "-Infinity"
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_plain(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _plain(item) for key, item in value.items()}
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    return repr(value)
+
+
+def event_to_jsonable(event: Event) -> Dict[str, object]:
+    """One event as a plain JSON-serializable dict."""
+    return {key: _plain(value) for key, value in event.to_dict().items()}
+
+
+def write_events_jsonl(events: Iterable[Event], stream: TextIO) -> int:
+    """Write events as JSONL; returns the number of lines written."""
+    count = 0
+    for event in events:
+        stream.write(
+            json.dumps(event_to_jsonable(event), allow_nan=False)
+        )
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def read_events_jsonl(stream: TextIO) -> EventLog:
+    """Parse a JSONL trace back into an :class:`EventLog`."""
+    log = EventLog()
+    for line_number, line in enumerate(stream, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"invalid JSONL trace at line {line_number}: {error}"
+            ) from None
+        log.append(Event.from_dict(payload))
+    return log
+
+
+def _format_field(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_format_field(item) for item in value) + "]"
+    return str(value)
+
+
+def render_timeline(
+    events: Iterable[Event],
+    kind: Optional[str] = None,
+    limit: Optional[int] = None,
+) -> str:
+    """Events as an aligned, per-run timeline (what ``repro trace`` prints).
+
+    ``kind`` filters to one event kind; ``limit`` caps the rendered lines
+    *per run* (earliest first), with an elision marker when truncated.
+    """
+    log = events if isinstance(events, EventLog) else EventLog(events)
+    if kind is not None:
+        log = log.filter(kind=kind)
+    if not len(log):
+        return "(empty trace)"
+    lines: List[str] = []
+    for run, run_log in log.by_run().items():
+        run_events = list(run_log)
+        lines.append(f"== run {run or '(unscoped)'} — {len(run_events)} events ==")
+        shown = run_events if limit is None else run_events[:limit]
+        for event in shown:
+            fields = " ".join(
+                f"{key}={_format_field(value)}"
+                for key, value in event.fields.items()
+            )
+            lines.append(
+                f"  t={event.time_s * 1e3:10.3f} ms  {event.kind:<24s} {fields}".rstrip()
+            )
+        if limit is not None and len(run_events) > limit:
+            lines.append(f"  ... {len(run_events) - limit} more")
+        counts = ", ".join(
+            f"{k}={c}" for k, c in run_log.kinds().items()
+        )
+        lines.append(f"  [{counts}]")
+    return "\n".join(lines)

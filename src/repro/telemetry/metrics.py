@@ -1,0 +1,134 @@
+"""Counters, gauges, histograms, and timers for the telemetry recorder.
+
+The registry is deliberately tiny: metrics are named scalars the hot
+paths bump while a run executes, summarized into plain dicts afterwards.
+Histograms keep streaming moments (count/total/min/max) rather than
+samples, so a million observations cost four floats.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount!r}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A last-value-wins scalar."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """Streaming distribution summary (no samples retained)."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+class _Timer:
+    """Context manager feeding elapsed wall seconds into a histogram."""
+
+    __slots__ = ("_histogram", "_started")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._started = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._histogram.observe(time.perf_counter() - self._started)
+
+
+@dataclass
+class MetricsRegistry:
+    """Named metrics, created on first use."""
+
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    gauges: Dict[str, Gauge] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self.counters[name]
+        except KeyError:
+            metric = self.counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self.gauges[name]
+        except KeyError:
+            metric = self.gauges[name] = Gauge(name)
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        try:
+            return self.histograms[name]
+        except KeyError:
+            metric = self.histograms[name] = Histogram(name)
+            return metric
+
+    def timer(self, name: str) -> _Timer:
+        """Time a ``with`` block into the named histogram (seconds)."""
+        return _Timer(self.histogram(name))
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """All metrics as plain nested dicts."""
+        return {
+            "counters": {n: c.value for n, c in self.counters.items()},
+            "gauges": {n: g.value for n, g in self.gauges.items()},
+            "histograms": {
+                n: h.snapshot() for n, h in self.histograms.items()
+            },
+        }

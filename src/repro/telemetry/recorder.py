@@ -1,0 +1,198 @@
+"""The telemetry recorder and the process-wide current-recorder slot.
+
+Instrumented hot paths (`sim.link`, `core.maintenance`, the baselines,
+...) fetch the active recorder with :func:`get_recorder` and bail out on
+``recorder.enabled`` — with telemetry off that is one module-global load
+and one attribute check, so the simulator's numeric behaviour and its
+wall time are untouched.  Enabling telemetry is scoped::
+
+    with use_recorder(TelemetryRecorder()) as recorder:
+        LinkSimulator(...).run()
+    print(recorder.summary().describe())
+
+Each process (including every ensemble pool worker) has its own slot;
+the executor installs a recorder inside the worker and ships the
+captured events back to the parent as plain data.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Optional
+
+from repro.telemetry.events import Event, EventKind, EventLog
+from repro.telemetry.metrics import MetricsRegistry
+
+
+class _NullTimer:
+    """A reusable do-nothing context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+class _NullMetric:
+    """Accepts any update and drops it."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_TIMER = _NullTimer()
+_NULL_METRIC = _NullMetric()
+
+
+class NullRecorder:
+    """The disabled recorder: every operation is a no-op.
+
+    A single module-level instance backs every disabled code path, so
+    "telemetry off" costs one attribute check per instrumentation site.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def emit(self, kind: str, time_s: float, **fields) -> None:
+        pass
+
+    def begin_run(self, label: str, time_s: float = 0.0) -> str:
+        return ""
+
+    def end_run(self, time_s: float, **fields) -> None:
+        pass
+
+    def counter(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def timer(self, name: str) -> _NullTimer:
+        return _NULL_TIMER
+
+
+NULL_RECORDER = NullRecorder()
+
+
+class TelemetryRecorder:
+    """Collects events into an :class:`EventLog` plus a metrics registry.
+
+    ``scope`` prefixes every run label this recorder opens (the ensemble
+    executor scopes each worker recorder to ``"<label>/seed<n>"``), so
+    merged traces stay attributable.
+    """
+
+    enabled = True
+
+    def __init__(self, scope: str = "") -> None:
+        self.scope = scope
+        self.events = EventLog()
+        self.metrics = MetricsRegistry()
+        self._run_sequence = itertools.count()
+        self._current_run = scope
+
+    @property
+    def current_run(self) -> str:
+        return self._current_run
+
+    def emit(self, kind: str, time_s: float, **fields) -> None:
+        """Record one event at simulation time ``time_s``."""
+        self.events.append(
+            Event(
+                time_s=float(time_s),
+                kind=kind,
+                run=self._current_run,
+                fields=fields,
+            )
+        )
+
+    def begin_run(self, label: str, time_s: float = 0.0) -> str:
+        """Open a run scope and emit its ``run_start`` event.
+
+        Returns the full run label (unique within this recorder); all
+        events emitted until :meth:`end_run` carry it.
+        """
+        sequence = next(self._run_sequence)
+        name = f"{label}#{sequence}"
+        self._current_run = f"{self.scope}:{name}" if self.scope else name
+        self.counter("telemetry.runs").inc()
+        self.emit(EventKind.RUN_START, time_s, label=label)
+        return self._current_run
+
+    def end_run(self, time_s: float, **fields) -> None:
+        """Emit ``run_end`` and fall back to the recorder's base scope."""
+        self.emit(EventKind.RUN_END, time_s, **fields)
+        self._current_run = self.scope
+
+    def absorb(self, events: Iterable[Event]) -> None:
+        """Fold in events recorded elsewhere (e.g. by a pool worker)."""
+        self.events.extend(events)
+
+    def counter(self, name: str):
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str):
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str):
+        return self.metrics.histogram(name)
+
+    def timer(self, name: str):
+        return self.metrics.timer(name)
+
+    def mark(self) -> int:
+        """The current event count (for since-mark summaries)."""
+        return len(self.events)
+
+    def summary(self, since: int = 0):
+        """A :class:`TelemetrySummary` of everything recorded so far."""
+        from repro.telemetry.summary import TelemetrySummary
+
+        return TelemetrySummary.from_recorder(self, since=since)
+
+
+_current: object = NULL_RECORDER
+
+
+def get_recorder():
+    """The process-wide active recorder (the null recorder by default)."""
+    return _current
+
+
+def set_recorder(recorder: Optional[object]):
+    """Install ``recorder`` (or the null recorder for ``None``).
+
+    Returns the previously installed recorder so callers can restore it;
+    prefer :func:`use_recorder` which does so automatically.
+    """
+    global _current
+    previous = _current
+    _current = NULL_RECORDER if recorder is None else recorder
+    return previous
+
+
+@contextmanager
+def use_recorder(recorder) -> Iterator[object]:
+    """Scope ``recorder`` as the active recorder for a ``with`` block."""
+    previous = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(previous)

@@ -1,0 +1,139 @@
+"""Aggregated telemetry: what happened, how often, and how long it took.
+
+A :class:`TelemetrySummary` is the picklable, mergeable digest of one
+recorder: event counts by kind, counter totals, last gauge values, and
+histogram moments.  Pool workers summarize locally and the executor
+merges the per-seed summaries into the one carried by
+``EnsembleSummary.telemetry``; experiment runs attach theirs to
+``ExperimentResult.telemetry``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+
+def _merge_histograms(
+    left: Mapping[str, float], right: Mapping[str, float]
+) -> Dict[str, float]:
+    count = left["count"] + right["count"]
+    total = left["total"] + right["total"]
+    contributors = [h for h in (left, right) if h["count"]]
+    if not contributors:
+        return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+    return {
+        "count": count,
+        "total": total,
+        "min": min(h["min"] for h in contributors),
+        "max": max(h["max"] for h in contributors),
+        "mean": total / count,
+    }
+
+
+@dataclass(frozen=True)
+class TelemetrySummary:
+    """Mergeable digest of one (or many) telemetry recorders."""
+
+    num_events: int = 0
+    num_runs: int = 0
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @classmethod
+    def from_recorder(cls, recorder, since: int = 0) -> "TelemetrySummary":
+        """Summarize a :class:`TelemetryRecorder`'s state.
+
+        ``since`` restricts the *event* tallies to events appended after
+        that mark (metrics are cumulative and always included whole).
+        """
+        events = list(recorder.events)[since:]
+        counts: Dict[str, int] = {}
+        runs = set()
+        for event in events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+            runs.add(event.run)
+        metrics = recorder.metrics.snapshot()
+        return cls(
+            num_events=len(events),
+            num_runs=len(runs),
+            event_counts=counts,
+            counters=dict(metrics["counters"]),
+            gauges=dict(metrics["gauges"]),
+            histograms={
+                name: dict(stats)
+                for name, stats in metrics["histograms"].items()
+            },
+        )
+
+    @classmethod
+    def merge(
+        cls, summaries: Iterable[Optional["TelemetrySummary"]]
+    ) -> "TelemetrySummary":
+        """Combine per-worker/per-run summaries into one.
+
+        ``None`` entries (runs without telemetry) are skipped; gauges are
+        last-value-wins in iteration order.
+        """
+        merged = cls()
+        for summary in summaries:
+            if summary is None:
+                continue
+            event_counts = dict(merged.event_counts)
+            for kind, count in summary.event_counts.items():
+                event_counts[kind] = event_counts.get(kind, 0) + count
+            counters = dict(merged.counters)
+            for name, value in summary.counters.items():
+                counters[name] = counters.get(name, 0.0) + value
+            gauges = dict(merged.gauges)
+            gauges.update(summary.gauges)
+            histograms = dict(merged.histograms)
+            for name, stats in summary.histograms.items():
+                if name in histograms:
+                    histograms[name] = _merge_histograms(
+                        histograms[name], stats
+                    )
+                else:
+                    histograms[name] = dict(stats)
+            merged = cls(
+                num_events=merged.num_events + summary.num_events,
+                num_runs=merged.num_runs + summary.num_runs,
+                event_counts=event_counts,
+                counters=counters,
+                gauges=gauges,
+                histograms=histograms,
+            )
+        return merged
+
+    def count(self, kind: str) -> int:
+        """Events of one kind."""
+        return self.event_counts.get(kind, 0)
+
+    def top_kinds(self, limit: int = 8) -> Tuple[Tuple[str, int], ...]:
+        """The most frequent event kinds, descending."""
+        ranked = sorted(
+            self.event_counts.items(), key=lambda item: (-item[1], item[0])
+        )
+        return tuple(ranked[:limit])
+
+    def describe(self) -> str:
+        """One printable paragraph (CLI and report output)."""
+        if not self.num_events:
+            return "telemetry: no events recorded"
+        kinds = ", ".join(
+            f"{kind}={count}" for kind, count in self.top_kinds()
+        )
+        lines = [
+            f"telemetry: {self.num_events} events across "
+            f"{self.num_runs} run(s) [{kinds}]"
+        ]
+        for name, stats in sorted(self.histograms.items()):
+            if not stats["count"]:
+                continue
+            lines.append(
+                f"  {name}: n={stats['count']} mean={stats['mean']:.3g}s "
+                f"max={stats['max']:.3g}s total={stats['total']:.3g}s"
+            )
+        return "\n".join(lines)

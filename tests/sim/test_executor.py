@@ -3,8 +3,8 @@
 Covers the acceptance contract: serial-vs-parallel bitwise equality on
 fixed seeds, one-poisoned-seed fault tolerance, failure-threshold
 escalation, the ``EnsembleSummary`` stats fields, the serial fallback
-for non-picklable factories, and the ``run_ensemble`` compatibility
-shims (EnsembleSpec form, keyword form, positional deprecation).
+for non-picklable factories, and the ``run_ensemble`` entry point
+(EnsembleSpec form, keyword form, positional-form rejection).
 """
 
 from functools import partial
@@ -220,22 +220,24 @@ class TestRunEnsembleCompat:
             )
         assert len(summary.metrics) == 2
 
-    def test_positional_form_deprecated_but_working(self):
-        with pytest.warns(DeprecationWarning, match="EnsembleSpec"):
-            summary = run_ensemble(
-                "oracle", make_scenario, make_oracle,
+    def test_positional_form_removed(self):
+        with pytest.raises(TypeError, match="no longer supported"):
+            run_ensemble(
+                "oracle",
+                scenario_factory=make_scenario,
+                manager_factory=make_oracle,
                 seeds=[0, 1], duration_s=0.02,
             )
-        assert summary.label == "oracle"
-        assert len(summary.metrics) == 2
 
-    def test_duplicate_arguments_rejected(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError, match="multiple values"):
-                run_ensemble(
-                    "oracle", make_scenario, label="again",
-                    manager_factory=make_oracle, seeds=[0],
-                )
+    def test_unknown_keyword_rejected(self):
+        with pytest.raises(TypeError, match="run_ensemble"):
+            run_ensemble(
+                label="oracle",
+                scenario_factory=make_scenario,
+                manager_factory=make_oracle,
+                seeds=[0],
+                bogus_knob=1,
+            )
 
     def test_executor_knobs_through_keywords(self):
         summary = run_ensemble(
@@ -247,6 +249,55 @@ class TestRunEnsembleCompat:
             workers=2,
         )
         assert summary.stats.backend == "process"
+
+
+class TestEnsembleTelemetry:
+    def test_disabled_by_default(self):
+        summary = execute_ensemble(fast_spec(seeds=range(2)))
+        assert summary.telemetry is None
+
+    def test_serial_collection(self):
+        summary = execute_ensemble(
+            fast_spec(seeds=range(2), telemetry=True)
+        )
+        telemetry = summary.telemetry
+        assert telemetry is not None
+        assert telemetry.num_runs == 2
+        assert telemetry.count("run_start") == 2
+        assert telemetry.count("run_end") == 2
+        # The oracle baseline never probes, but it does adapt its MCS.
+        assert telemetry.count("mcs_switch") > 0
+
+    def test_multi_worker_merge_matches_serial(self):
+        spec = fast_spec(seeds=range(4), telemetry=True, workers=4)
+        parallel = execute_ensemble(spec)
+        serial = execute_ensemble(spec.with_options(workers=1))
+        assert parallel.stats.backend == "process"
+        assert parallel.telemetry is not None
+        # Event content is deterministic per seed; only wall-clock
+        # histograms (timers) may differ between backends.
+        assert parallel.telemetry.num_events == serial.telemetry.num_events
+        assert parallel.telemetry.num_runs == serial.telemetry.num_runs == 4
+        assert parallel.telemetry.event_counts == serial.telemetry.event_counts
+        assert parallel.telemetry.counters == serial.telemetry.counters
+
+    def test_metrics_bitwise_identical_with_and_without_telemetry(self):
+        # The overhead contract: instrumentation never perturbs results.
+        plain = execute_ensemble(fast_spec(seeds=range(4)))
+        traced = execute_ensemble(fast_spec(seeds=range(4), telemetry=True))
+        assert plain.metrics == traced.metrics
+
+    def test_events_flow_into_parent_recorder(self):
+        from repro.telemetry import TelemetryRecorder, use_recorder
+
+        recorder = TelemetryRecorder()
+        with use_recorder(recorder):
+            summary = execute_ensemble(fast_spec(seeds=range(2), workers=2))
+        assert summary.telemetry is not None
+        assert len(recorder.events) > 0
+        run_labels = {event.run for event in recorder.events}
+        assert any("seed0" in label for label in run_labels)
+        assert any("seed1" in label for label in run_labels)
 
 
 class TestParallelMap:

@@ -98,7 +98,31 @@ class TestJsonExport:
         assert to_jsonable(np.arange(3)) == [0, 1, 2]
         assert to_jsonable((1, 2)) == [1, 2]
         assert to_jsonable(1 + 2j) == {"real": 1.0, "imag": 2.0}
-        assert to_jsonable(float("nan")) == "nan"
+
+    def test_to_jsonable_non_finite(self):
+        from repro.sim.export import to_jsonable
+
+        assert to_jsonable(float("nan")) is None
+        assert to_jsonable(float("inf")) == "Infinity"
+        assert to_jsonable(float("-inf")) == "-Infinity"
+        assert to_jsonable(np.float64("nan")) is None
+        assert to_jsonable(complex(float("nan"), float("inf"))) == {
+            "real": None, "imag": "Infinity"
+        }
+
+    def test_non_finite_round_trips_through_strict_json(self):
+        import json
+
+        from repro.sim.export import result_to_json
+
+        payload = {
+            "snr": float("nan"),
+            "bounds": [float("inf"), float("-inf"), 1.5],
+        }
+        parsed = json.loads(result_to_json(payload))
+        assert parsed == {
+            "snr": None, "bounds": ["Infinity", "-Infinity", 1.5]
+        }
 
     def test_summary_expanded(self):
         from repro.sim.export import to_jsonable
@@ -132,7 +156,9 @@ class TestJsonExport:
         )
         parsed = json.loads(result_to_json(result))
         assert parsed["identifier"] == "demo"
-        assert parsed["config"] == {"seeds": 4, "workers": 2}
+        assert parsed["config"] == {
+            "seeds": 4, "workers": 2, "telemetry": False
+        }
         assert parsed["data"]["grid"] == [[1.0, 0.0], [0.0, 1.0]]
         assert parsed["data"]["summary"]["stats"]["backend"] == "process"
 

@@ -1,0 +1,69 @@
+"""Unit tests for counters, gauges, histograms, and timers."""
+
+import pytest
+
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("x")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        gauge = Gauge("margin")
+        gauge.set(1.0)
+        gauge.set(-2.5)
+        assert gauge.value == -2.5
+
+
+class TestHistogram:
+    def test_streaming_moments(self):
+        histogram = Histogram("h")
+        for value in (1.0, 3.0, 2.0):
+            histogram.observe(value)
+        snap = histogram.snapshot()
+        assert snap["count"] == 3
+        assert snap["total"] == 6.0
+        assert snap["min"] == 1.0
+        assert snap["max"] == 3.0
+        assert snap["mean"] == pytest.approx(2.0)
+
+    def test_empty_snapshot_is_zeroed(self):
+        snap = Histogram("h").snapshot()
+        assert snap == {
+            "count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0
+        }
+        assert Histogram("h").mean == 0.0
+
+
+class TestRegistry:
+    def test_metrics_created_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc()
+        registry.gauge("g").set(7.0)
+        registry.histogram("h").observe(1.0)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"a": 2.0}
+        assert snap["gauges"] == {"g": 7.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_timer_feeds_histogram(self):
+        registry = MetricsRegistry()
+        with registry.timer("step_s"):
+            pass
+        with registry.timer("step_s"):
+            pass
+        snap = registry.snapshot()["histograms"]["step_s"]
+        assert snap["count"] == 2
+        assert snap["total"] >= 0.0
+        assert snap["min"] <= snap["max"]

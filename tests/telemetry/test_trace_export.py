@@ -1,0 +1,110 @@
+"""Unit tests for the JSONL trace exporter and the timeline renderer."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (
+    Event,
+    EventLog,
+    event_to_jsonable,
+    read_events_jsonl,
+    render_timeline,
+    write_events_jsonl,
+)
+
+
+def _events():
+    return EventLog(
+        [
+            Event(time_s=0.0, kind="run_start", run="a#0",
+                  fields={"label": "a"}),
+            Event(time_s=0.005, kind="probe_tx", run="a#0",
+                  fields={"probe": "ssb", "count": 33}),
+            Event(time_s=0.010, kind="blockage_onset", run="a#0",
+                  fields={"beam": 1, "power_db": -3.25}),
+            Event(time_s=1.0, kind="run_end", run="a#0",
+                  fields={"samples": 100}),
+        ]
+    )
+
+
+class TestJsonable:
+    def test_numpy_fields_degrade_to_plain_types(self):
+        event = Event(
+            time_s=0.0,
+            kind="per_beam_power_estimate",
+            fields={
+                "powers_db": np.array([1.5, -2.0]),
+                "snr_db": np.float64(12.5),
+                "active": [np.bool_(True), np.bool_(False)],
+            },
+        )
+        payload = event_to_jsonable(event)
+        assert payload["powers_db"] == [1.5, -2.0]
+        assert payload["snr_db"] == 12.5
+        assert payload["active"] == [True, False]
+        json.dumps(payload, allow_nan=False)  # strictly serializable
+
+    def test_non_finite_fields_sanitized(self):
+        event = Event(
+            time_s=0.0,
+            kind="mcs_switch",
+            fields={
+                "snr_db": float("nan"),
+                "up": float("inf"),
+                "down": float("-inf"),
+            },
+        )
+        payload = event_to_jsonable(event)
+        assert payload["snr_db"] is None
+        assert payload["up"] == "Infinity"
+        assert payload["down"] == "-Infinity"
+        json.dumps(payload, allow_nan=False)
+
+
+class TestJsonlRoundTrip:
+    def test_write_then_read_is_identity(self):
+        buffer = io.StringIO()
+        count = write_events_jsonl(_events(), buffer)
+        assert count == 4
+        buffer.seek(0)
+        parsed = read_events_jsonl(buffer)
+        assert list(parsed) == list(_events())
+
+    def test_blank_lines_skipped(self):
+        buffer = io.StringIO()
+        write_events_jsonl(_events(), buffer)
+        buffer.write("\n\n")
+        buffer.seek(0)
+        assert len(read_events_jsonl(buffer)) == 4
+
+    def test_bad_line_reports_line_number(self):
+        stream = io.StringIO(
+            '{"time_s": 0.0, "kind": "run_start", "run": "a"}\nnot json\n'
+        )
+        with pytest.raises(ValueError, match="line 2"):
+            read_events_jsonl(stream)
+
+
+class TestTimeline:
+    def test_empty(self):
+        assert render_timeline(EventLog()) == "(empty trace)"
+
+    def test_groups_by_run_with_counts(self):
+        text = render_timeline(_events())
+        assert "== run a#0 — 4 events ==" in text
+        assert "probe_tx" in text
+        assert "probe=ssb count=33" in text
+        assert "run_start=1" in text
+
+    def test_kind_filter(self):
+        text = render_timeline(_events(), kind="probe_tx")
+        assert "1 events" in text
+        assert "blockage_onset" not in text
+
+    def test_limit_elides(self):
+        text = render_timeline(_events(), limit=2)
+        assert "... 2 more" in text

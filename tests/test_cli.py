@@ -125,7 +125,9 @@ class TestCliStructuredFlags:
         assert f"{target}" in out.getvalue()
         parsed = json.loads(target.read_text())
         assert parsed["identifier"] == "reliability"
-        assert parsed["config"] == {"seeds": None, "workers": 1}
+        assert parsed["config"] == {
+            "seeds": None, "workers": 1, "telemetry": False
+        }
         assert "analytic" in parsed["data"]
 
     def test_run_rejects_bad_workers(self):
