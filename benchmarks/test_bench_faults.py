@@ -1,0 +1,95 @@
+"""Bench: fault-injection overhead and the chaos sweep.
+
+Two contracts worth tracking over time:
+
+* **Free when off** — a zero-rate campaign never draws randomness, so a
+  run under an all-zero injector must be bitwise identical to a run with
+  no injector, and the injector's disabled path must cost a negligible
+  fraction of the run.
+* **Chaos throughput** — the fault_tolerance sweep (the reliability vs
+  fault-rate curve) at a reduced scale, timed, with the headline numbers
+  (mmReliable vs reactive reliability at the top rate, total RunFailures)
+  recorded in ``extra_info`` so regressions in graceful degradation show
+  up in the ``BENCH_*.json`` history.
+"""
+
+import time
+from functools import partial
+
+from repro.experiments import fault_tolerance
+from repro.experiments.common import make_manager
+from repro.experiments.fig18_end2end import _mobile_scenario
+from repro.faults import FaultInjector, FaultSpec, install_fault_injector
+from repro.sim.link import LinkSimulator
+
+ZERO_CAMPAIGN = (
+    FaultSpec(kind="probe_loss", rate=0.0),
+    FaultSpec(kind="probe_corruption", rate=0.0),
+    FaultSpec(kind="stuck_elements", rate=0.0),
+    FaultSpec(kind="feedback_dropout", rate=0.0),
+)
+
+
+def make_sim(seed=0, duration=0.25, faults=None):
+    simulator = LinkSimulator(
+        scenario=_mobile_scenario(
+            seed, speed_mps=1.5, blockage_depth_db=30.0, distance_m=25.0
+        ),
+        manager=make_manager("mmreliable", seed),
+        duration_s=duration,
+    )
+    if faults is not None:
+        install_fault_injector(
+            simulator.manager, FaultInjector(seed=seed, specs=faults)
+        )
+    return simulator
+
+
+def test_zero_rate_injector_is_free(benchmark, once):
+    started = time.perf_counter()
+    plain = make_sim().run()
+    plain_wall_s = time.perf_counter() - started
+
+    injected = once(
+        benchmark, lambda: make_sim(faults=ZERO_CAMPAIGN).run()
+    )
+    injected_wall_s = benchmark.stats.stats.mean
+
+    # The bitwise-identity contract: all-zero rates never draw, so the
+    # sounder's RNG stream — and therefore the physics — is untouched.
+    assert (injected.snr_db == plain.snr_db).all()
+    assert injected.actions == plain.actions
+
+    benchmark.extra_info["plain_wall_s"] = round(plain_wall_s, 4)
+    benchmark.extra_info["injected_wall_s"] = round(injected_wall_s, 4)
+
+
+def test_fault_tolerance_sweep(benchmark, once):
+    sweep = once(
+        benchmark,
+        partial(
+            fault_tolerance.run_fault_rate_sweep,
+            rates=(0.0, 0.3),
+            seeds=range(3),
+            duration_s=0.25,
+        ),
+    )
+    print()
+    print(fault_tolerance.report(sweep))
+
+    curves = sweep["curves"]
+    top = {system: points[-1] for system, points in curves.items()}
+    # Graceful degradation: chaos costs reliability but never a run.
+    total_failures = sum(
+        p["failed_runs"] for points in curves.values() for p in points
+    )
+    assert total_failures == 0
+    assert top["mmreliable"]["reliability"] > top["reactive"]["reliability"]
+
+    benchmark.extra_info["mmreliable_rel_at_0.3"] = round(
+        top["mmreliable"]["reliability"], 4
+    )
+    benchmark.extra_info["reactive_rel_at_0.3"] = round(
+        top["reactive"]["reliability"], 4
+    )
+    benchmark.extra_info["total_run_failures"] = total_failures

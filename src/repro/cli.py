@@ -8,6 +8,8 @@ Usage::
     python -m repro run fig18 --workers 4 --seeds 32 --json fig18.json
     python -m repro run fig16 --trace fig16.jsonl
     python -m repro trace fig16.jsonl --kind blockage_onset
+    python -m repro run fig18 --fault probe_loss:0.1 --trace chaos.jsonl
+    python -m repro run fault_tolerance --faults faults.json
 
 ``--workers`` fans ensemble seed-runs out over the parallel executor,
 ``--seeds`` overrides the Monte-Carlo seed count for ensemble-backed
@@ -16,6 +18,9 @@ experiments, ``--json`` dumps the structured
 tooling, and ``--trace`` records link telemetry (probe transmissions,
 blockage onsets, beam retrains, MCS switches, ...) as JSONL.  ``repro
 trace`` renders a recorded JSONL file as a human-readable timeline.
+``--fault KIND:RATE`` (repeatable) and ``--faults PATH`` inject
+deterministic faults (see :mod:`repro.faults`) into ensemble-backed
+experiments.
 """
 
 from __future__ import annotations
@@ -73,6 +78,24 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="record link telemetry events as JSONL to PATH",
     )
+    run.add_argument(
+        "--fault",
+        dest="faults",
+        action="append",
+        default=None,
+        metavar="KIND:RATE",
+        help=(
+            "inject a fault, e.g. probe_loss:0.1 or "
+            "stuck_elements:0.05:value=0.0 (repeatable)"
+        ),
+    )
+    run.add_argument(
+        "--faults",
+        dest="faults_path",
+        default=None,
+        metavar="PATH",
+        help="load fault specs from a JSON file",
+    )
     trace = commands.add_parser(
         "trace", help="render a recorded telemetry trace as a timeline"
     )
@@ -103,21 +126,56 @@ def command_list(out=sys.stdout) -> int:
     return 0
 
 
+def _collect_fault_specs(
+    fault_args: Optional[List[str]],
+    faults_path: Optional[str],
+    out,
+):
+    """Parse --fault/--faults into FaultSpecs; returns None on bad input."""
+    from repro.faults import load_fault_specs, parse_fault
+
+    specs = []
+    for text in fault_args or ():
+        try:
+            specs.append(parse_fault(text))
+        except ValueError as error:
+            out.write(f"error: --fault {text!r}: {error}\n")
+            return None
+    if faults_path is not None:
+        try:
+            specs.extend(load_fault_specs(faults_path))
+        except OSError as error:
+            out.write(f"error: cannot read {faults_path}: {error}\n")
+            return None
+        except ValueError as error:
+            out.write(f"error: {faults_path}: {error}\n")
+            return None
+    return tuple(specs)
+
+
 def command_run(
     identifier: str,
     workers: int = 1,
     seeds: Optional[int] = None,
     json_path: Optional[str] = None,
     trace_path: Optional[str] = None,
+    fault_args: Optional[List[str]] = None,
+    faults_path: Optional[str] = None,
     out=sys.stdout,
 ) -> int:
     if identifier == "all":
         identifiers: List[str] = list(REGISTRY)
     else:
         identifiers = [identifier]
+    faults = _collect_fault_specs(fault_args, faults_path, out)
+    if faults is None:
+        return 2
     try:
         config = ExperimentConfig(
-            seeds=seeds, workers=workers, telemetry=trace_path is not None
+            seeds=seeds,
+            workers=workers,
+            telemetry=trace_path is not None,
+            faults=faults,
         )
     except ValueError as error:
         out.write(f"error: {error}\n")
@@ -213,6 +271,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             seeds=arguments.seeds,
             json_path=arguments.json_path,
             trace_path=arguments.trace_path,
+            fault_args=arguments.faults,
+            faults_path=arguments.faults_path,
         )
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; not an error.

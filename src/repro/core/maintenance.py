@@ -100,6 +100,16 @@ class MultiBeamManager:
     #: only come every 20 ms; retraining every CSI-RS slot while all
     #: paths are dark would only multiply the training airtime.
     retrain_cooldown_s: float = 20e-3
+    #: Tracking-divergence watchdog: when the link SNR sits more than
+    #: ``watchdog_drop_db`` below its healthy reference for
+    #: ``watchdog_rounds`` consecutive rounds *without* a blockage
+    #: explanation (or that many consecutive dropped measurements), the
+    #: control loop has lost the plot and a full retrain is forced.
+    watchdog_drop_db: float = 12.0
+    watchdog_rounds: int = 4
+    #: Optional :class:`repro.faults.FaultInjector` for control-plane
+    #: faults (feedback dropouts).  Probe-level faults ride the sounder.
+    fault_injector: Optional[object] = None
     budget: ProbeBudget = field(default_factory=ProbeBudget)
 
     multibeam: Optional[MultiBeam] = field(default=None, init=False)
@@ -111,6 +121,12 @@ class MultiBeamManager:
     _last_reprobe_s: float = field(default=0.0, init=False)
     _last_retrain_s: float = field(default=-np.inf, init=False)
     _anchor_pending: bool = field(default=True, init=False)
+    _watchdog_ref_db: float = field(default=-np.inf, init=False)
+    _watchdog_streak: int = field(default=0, init=False)
+    _invalid_streak: int = field(default=0, init=False)
+    #: Maintenance rounds that ran in a degraded mode (dropped
+    #: measurements, single-beam fallbacks, feedback dropouts).
+    degraded_rounds: int = field(default=0, init=False)
     training_rounds: int = field(default=0, init=False)
     #: (start_s, duration_s) of every beam-training episode; the link is
     #: unavailable for data during these windows (reliability accounting).
@@ -153,10 +169,21 @@ class MultiBeamManager:
         reference_powers = controller.measure_reference_powers(
             channel, angles, budget=self.budget, time_s=time_s
         )
-        estimate = controller.estimate_relative_gains(
+        outcome = controller.probe_relative_gains(
             channel, angles, reference_powers=reference_powers,
             budget=self.budget, time_s=time_s,
         )
+        estimate = outcome.estimate
+        if outcome.degraded:
+            self.degraded_rounds += 1
+            if recorder.enabled:
+                recorder.emit(
+                    EventKind.FALLBACK_ENGAGED,
+                    time_s,
+                    fallback="establish_degraded_probe",
+                    valid=[bool(v) for v in outcome.valid],
+                )
+                recorder.counter("maintenance.fallbacks").inc()
         if self.constructive:
             gains = estimate.relative_gains
         else:
@@ -184,6 +211,9 @@ class MultiBeamManager:
         )
         self._anchor_pending = True
         self._last_reprobe_s = time_s
+        self._watchdog_ref_db = -np.inf
+        self._watchdog_streak = 0
+        self._invalid_streak = 0
         return self.multibeam
 
     def _measure_beam_tofs(
@@ -232,17 +262,59 @@ class MultiBeamManager:
             raise RuntimeError("call establish() first")
         probes = 1  # the monitoring CSI-RS itself
         self.budget.charge(ProbeKind.CSI_RS, time_s=time_s, count=1)
+        recorder = get_recorder()
+        num_beams = self.multibeam.num_beams
+
+        if self.fault_injector is not None and self.fault_injector.feedback_dropped(
+            time_s
+        ):
+            # The SNR/CQI report for this round never arrived: hold every
+            # decision (acting on a missing report would be guessing).
+            self.degraded_rounds += 1
+            if recorder.enabled:
+                recorder.counter("maintenance.feedback_dropouts").inc()
+            return MaintenanceReport(
+                time_s=time_s,
+                snr_db=float("nan"),
+                action="feedback_dropout",
+                per_beam_power_db=np.full(num_beams, SILENT_POWER_DB),
+                blocked_mask=self._detector.blocked_mask,
+                probes_used=probes,
+            )
+
         weights = self.current_weights()
         estimate = self.sounder.sound(channel, weights, time_s=time_s)
         snr_db = self.sounder.config.snr_db(estimate.mean_power)
-        cir = cir_from_frequency_response(estimate.csi)
 
+        if not (np.all(np.isfinite(estimate.csi)) and estimate.mean_power > 0.0):
+            # A lost or poisoned probe, not a channel condition: real CSI
+            # always carries receiver noise, so an exactly-zero snapshot
+            # means the measurement itself is gone.  Skip the round rather
+            # than mistake it for an outage and burn a retrain.
+            return self._handle_dropped_measurement(channel, time_s, probes)
+        self._invalid_streak = 0
+
+        cir = cir_from_frequency_response(estimate.csi)
         previous_mask = self._detector.blocked_mask
         active = ~previous_mask
-        sr = self._resolver.estimate(cir, active_indices=np.where(active)[0])
-        powers_db = sr.per_beam_power_db(floor_db=SILENT_POWER_DB)
+        try:
+            sr = self._resolver.estimate(cir, active_indices=np.where(active)[0])
+            powers_db = sr.per_beam_power_db(floor_db=SILENT_POWER_DB)
+        except (ValueError, FloatingPointError, np.linalg.LinAlgError):
+            powers_db = None
+        if powers_db is None or not np.all(np.isfinite(powers_db)):
+            # Per-beam estimates are unusable: keep the link alive on the
+            # single strongest surviving beam until the next clean round.
+            self._fallback_single_beam(time_s, reason="invalid_beam_estimate")
+            return MaintenanceReport(
+                time_s=time_s,
+                snr_db=snr_db,
+                action="estimate_fallback",
+                per_beam_power_db=np.full(num_beams, SILENT_POWER_DB),
+                blocked_mask=previous_mask,
+                probes_used=probes,
+            )
         powers_db = np.where(active, powers_db, SILENT_POWER_DB)
-        recorder = get_recorder()
         if recorder.enabled:
             recorder.emit(
                 EventKind.PER_BEAM_POWER_ESTIMATE,
@@ -268,6 +340,41 @@ class MultiBeamManager:
                 action=action,
                 per_beam_power_db=powers_db,
                 blocked_mask=blocked,
+                probes_used=probes,
+            )
+
+        # Tracking-divergence watchdog: an SNR collapse that blockage
+        # detection cannot explain, sustained across several rounds, means
+        # the control loop itself has diverged (e.g. tracking walked the
+        # beams off the paths).  Force a full retrain.
+        self._watchdog_ref_db = max(self._watchdog_ref_db, snr_db)
+        diverged = (
+            snr_db < self._watchdog_ref_db - self.watchdog_drop_db
+            and not blocked.any()
+            and not self._detector.breach_pending
+        )
+        self._watchdog_streak = self._watchdog_streak + 1 if diverged else 0
+        if (
+            self._watchdog_streak >= self.watchdog_rounds
+            and time_s - self._last_retrain_s >= self.retrain_cooldown_s
+        ):
+            if recorder.enabled:
+                recorder.emit(
+                    EventKind.WATCHDOG_TRIP,
+                    time_s,
+                    snr_db=float(snr_db),
+                    reference_db=float(self._watchdog_ref_db),
+                    streak=int(self._watchdog_streak),
+                )
+                recorder.counter("maintenance.watchdog_trips").inc()
+            self._last_retrain_s = time_s
+            self.establish(channel, time_s=time_s)
+            return MaintenanceReport(
+                time_s=time_s,
+                snr_db=snr_db,
+                action="watchdog_retrain",
+                per_beam_power_db=powers_db,
+                blocked_mask=self._detector.blocked_mask,
                 probes_used=probes,
             )
 
@@ -353,6 +460,73 @@ class MultiBeamManager:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _handle_dropped_measurement(
+        self, channel: GeometricChannel, time_s: float, probes: int
+    ) -> MaintenanceReport:
+        """Skip a round whose monitoring probe never arrived.
+
+        A run of consecutive dropped measurements means the control loop
+        is flying blind; after ``watchdog_rounds`` of them the watchdog
+        forces a retrain (rate-limited to the SSB cadence).
+        """
+        recorder = get_recorder()
+        self._invalid_streak += 1
+        self.degraded_rounds += 1
+        if recorder.enabled:
+            recorder.counter("maintenance.dropped_measurements").inc()
+        action = "measurement_dropped"
+        if (
+            self._invalid_streak >= self.watchdog_rounds
+            and time_s - self._last_retrain_s >= self.retrain_cooldown_s
+        ):
+            if recorder.enabled:
+                recorder.emit(
+                    EventKind.WATCHDOG_TRIP,
+                    time_s,
+                    streak=int(self._invalid_streak),
+                    reason="blind",
+                )
+                recorder.counter("maintenance.watchdog_trips").inc()
+            self._last_retrain_s = time_s
+            self.establish(channel, time_s=time_s)
+            action = "watchdog_retrain"
+        return MaintenanceReport(
+            time_s=time_s,
+            snr_db=-np.inf,
+            action=action,
+            per_beam_power_db=np.full(self.multibeam.num_beams, SILENT_POWER_DB),
+            blocked_mask=self._detector.blocked_mask,
+            probes_used=probes,
+        )
+
+    def _fallback_single_beam(self, time_s: float, reason: str) -> None:
+        """Collapse the multi-beam onto its single strongest surviving beam.
+
+        Used when per-beam estimates are invalid: a one-beam pattern needs
+        no relative gains, so it stays safe to transmit until the next
+        clean probing round restores the constructive multi-beam.
+        """
+        blocked = self._detector.blocked_mask
+        scores = np.where(blocked, -np.inf, self._healthy_power_db)
+        if not np.any(np.isfinite(scores)):
+            scores = np.asarray(self._healthy_power_db, dtype=float)
+        strongest = int(np.argmax(scores))
+        gains = [0.0 + 0.0j] * self.multibeam.num_beams
+        gains[strongest] = 1.0 + 0.0j
+        self.multibeam = self.multibeam.with_relative_gains(tuple(gains))
+        self._anchor_pending = True
+        self.degraded_rounds += 1
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.emit(
+                EventKind.FALLBACK_ENGAGED,
+                time_s,
+                fallback="single_beam",
+                beam=strongest,
+                reason=reason,
+            )
+            recorder.counter("maintenance.fallbacks").inc()
+
     def _tracking_powers(
         self, powers_db: np.ndarray, blocked: np.ndarray
     ) -> np.ndarray:
@@ -431,18 +605,38 @@ class MultiBeamManager:
             return 0
         angles = [self.multibeam.angles_rad[i] for i in live]
         controller = ProbeController(array=self.array, sounder=self.sounder)
-        estimate = controller.estimate_relative_gains(
+        outcome = controller.probe_relative_gains(
             channel, angles, reference_powers=None, budget=self.budget,
             time_s=time_s,
         )
+        estimate = outcome.estimate
+        if not outcome.valid[0]:
+            # The reference beam itself could not be measured; nothing in
+            # this round is trustworthy.  Drop to the strongest survivor.
+            self._fallback_single_beam(time_s, reason="reprobe_reference_invalid")
+            return estimate.num_probes
         # Refresh the healthy state for the probed beams, keeping the
-        # overall reference on the live reference beam.
+        # overall reference on the live reference beam.  Beams whose
+        # estimates stayed degenerate keep their previous healthy gains
+        # but transmit nothing this interval (gain 0 on the live beam).
         healthy = list(self._healthy_gains)
-        for slot, gain in zip(live, estimate.relative_gains):
-            healthy[slot] = gain
+        for slot, gain, ok in zip(live, estimate.relative_gains, outcome.valid):
+            if ok:
+                healthy[slot] = gain
         self._healthy_gains = tuple(healthy)
         gains = list(self.multibeam.relative_gains)
-        for slot, gain in zip(live, estimate.relative_gains):
-            gains[slot] = gain
+        for slot, gain, ok in zip(live, estimate.relative_gains, outcome.valid):
+            gains[slot] = gain if ok else 0.0 + 0.0j
         self.multibeam = self.multibeam.with_relative_gains(gains)
+        if outcome.degraded:
+            self.degraded_rounds += 1
+            recorder = get_recorder()
+            if recorder.enabled:
+                recorder.emit(
+                    EventKind.FALLBACK_ENGAGED,
+                    time_s,
+                    fallback="survivor_beams",
+                    valid=[bool(v) for v in outcome.valid],
+                )
+                recorder.counter("maintenance.fallbacks").inc()
         return estimate.num_probes

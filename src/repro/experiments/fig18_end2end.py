@@ -120,6 +120,7 @@ def run_mobile_ensembles(
     blockage_depth_db: float = 30.0,
     distance_m: float = 25.0,
     workers: int = 1,
+    faults: tuple = (),
 ) -> Dict[str, EnsembleSummary]:
     """The paper's combined mobility + blockage workload (Fig. 18b/c).
 
@@ -145,6 +146,7 @@ def run_mobile_ensembles(
                 seeds=tuple(seeds),
                 duration_s=duration_s,
                 workers=workers,
+                faults=tuple(faults),
             )
         )
     return summaries

@@ -19,6 +19,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro.faults import FaultSpec
 from repro.telemetry import (
     TelemetryRecorder,
     TelemetrySummary,
@@ -37,17 +38,27 @@ class ExperimentConfig:
     ensemble ignore both.  ``telemetry`` collects link events and
     metrics during the run and attaches a
     :class:`~repro.telemetry.TelemetrySummary` to the result.
+    ``faults`` injects a chaos campaign (CLI ``--fault`` / ``--faults``)
+    into every ensemble the experiment runs.
     """
 
     seeds: Optional[int] = None
     workers: int = 1
     telemetry: bool = False
+    faults: Tuple[FaultSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.seeds is not None and self.seeds < 1:
             raise ValueError(f"seeds must be >= 1, got {self.seeds!r}")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers!r}")
+        faults = tuple(self.faults)
+        for spec in faults:
+            if not isinstance(spec, FaultSpec):
+                raise TypeError(
+                    f"faults must be FaultSpec instances, got {spec!r}"
+                )
+        object.__setattr__(self, "faults", faults)
 
     def seed_range(self, default: int) -> range:
         """The seed range to use, honouring the override."""
@@ -245,7 +256,8 @@ def _fig18_run(config: ExperimentConfig) -> Dict[str, Any]:
     return {
         "static": m.run_static_blockers(),
         "mobile": m.run_mobile_ensembles(
-            seeds=config.seed_range(10), workers=config.workers
+            seeds=config.seed_range(10), workers=config.workers,
+            faults=config.faults,
         ),
         "overhead": m.run_probing_overhead(),
     }
@@ -289,7 +301,8 @@ def _robustness_run(config: ExperimentConfig) -> Dict[str, Any]:
 
     return {
         "clustered": m.run_clustered_ensembles(
-            seeds=config.seed_range(12), workers=config.workers
+            seeds=config.seed_range(12), workers=config.workers,
+            faults=config.faults,
         )
     }
 
@@ -298,6 +311,23 @@ def _robustness_render(data: Dict[str, Any]) -> str:
     from repro.experiments import robustness as m
 
     return m.report(data["clustered"])
+
+
+def _fault_tolerance_run(config: ExperimentConfig) -> Dict[str, Any]:
+    from repro.experiments import fault_tolerance as m
+
+    kind = config.faults[0].kind if config.faults else "probe_loss"
+    return {
+        "sweep": m.run_fault_rate_sweep(
+            seeds=config.seed_range(6), workers=config.workers, kind=kind
+        )
+    }
+
+
+def _fault_tolerance_render(data: Dict[str, Any]) -> str:
+    from repro.experiments import fault_tolerance as m
+
+    return m.report(data["sweep"])
 
 
 def _ablations_run(config: ExperimentConfig) -> Dict[str, Any]:
@@ -374,6 +404,11 @@ REGISTRY: Dict[str, Experiment] = {
         Experiment(
             "robustness", "end-to-end on random clustered channels",
             _robustness_run, _robustness_render,
+        ),
+        Experiment(
+            "fault_tolerance",
+            "reliability vs injected fault rate (chaos sweep)",
+            _fault_tolerance_run, _fault_tolerance_render,
         ),
         Experiment(
             "ablations", "design-choice ablations",

@@ -70,6 +70,7 @@ def run_clustered_ensembles(
     profile: ClusterProfile = INDOOR_CLUSTERS,
     duration_s: float = 1.0,
     workers: int = 1,
+    faults: tuple = (),
 ) -> Dict[str, EnsembleSummary]:
     """mmReliable vs baselines over random clustered channels.
 
@@ -87,6 +88,7 @@ def run_clustered_ensembles(
                 seeds=tuple(seeds),
                 duration_s=duration_s,
                 workers=workers,
+                faults=tuple(faults),
             )
         )
     return summaries

@@ -1,0 +1,41 @@
+"""Deterministic seed-driven fault injection ("chaos") subsystem.
+
+``repro.faults`` lets an ensemble ask "what happens to mmReliable when
+probes drop, phase shifters stick, or workers die?" without giving up
+reproducibility: every fault decision comes from RNG streams keyed by
+``(seed, fault kind)``, so rate ``0.0`` is bitwise identical to no
+injector and any observed failure replays exactly from
+``(seed, fault_spec)``.
+
+Layering: this package depends only on numpy and ``repro.telemetry``.
+The sounder (:mod:`repro.phy.ofdm`) and beam maintenance
+(:mod:`repro.core.maintenance`) expose optional ``fault_injector``
+hooks; the ensemble executor (:mod:`repro.sim.executor`) constructs one
+injector per run from ``EnsembleSpec.faults``.
+"""
+
+from repro.faults.injector import (
+    FaultInjector,
+    InjectedWorkerCrash,
+    install_fault_injector,
+)
+from repro.faults.spec import (
+    CHAOS_KINDS,
+    KNOWN_FAULT_KINDS,
+    FaultKind,
+    FaultSpec,
+    load_fault_specs,
+    parse_fault,
+)
+
+__all__ = [
+    "CHAOS_KINDS",
+    "KNOWN_FAULT_KINDS",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSpec",
+    "InjectedWorkerCrash",
+    "install_fault_injector",
+    "load_fault_specs",
+    "parse_fault",
+]

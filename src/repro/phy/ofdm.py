@@ -101,6 +101,11 @@ class ChannelSounder:
     config: OfdmConfig
     cfo_model: Optional[CfoSfoModel] = None
     rng: object = None
+    #: Optional :class:`repro.faults.FaultInjector`.  When set, transmit
+    #: weights pass through its stuck-element mask and every sounded CSI
+    #: snapshot through its probe filter.  The injector keeps its own RNG
+    #: streams, so ``None`` and a zero-rate injector are bitwise identical.
+    fault_injector: Optional[object] = None
 
     def __post_init__(self) -> None:
         self.rng = ensure_rng(self.rng)
@@ -113,6 +118,9 @@ class ChannelSounder:
         time_s: float = 0.0,
     ) -> ChannelEstimate:
         """Sound the channel through the given beams once."""
+        injector = self.fault_injector
+        if injector is not None:
+            tx_weights = injector.apply_element_faults(tx_weights)
         freqs = self.config.frequency_grid()
         response = channel.frequency_response(tx_weights, freqs, rx_weights)
         noise_variance = (
@@ -121,6 +129,8 @@ class ChannelSounder:
         noisy = response + complex_awgn(response.shape, noise_variance, self.rng)
         if self.cfo_model is not None:
             noisy = self.cfo_model.apply(noisy)
+        if injector is not None:
+            noisy = injector.filter_probe(noisy, time_s)
         return ChannelEstimate(csi=noisy, frequencies_hz=freqs, time_s=time_s)
 
     def sound_with_band_weights(
@@ -149,7 +159,14 @@ class ChannelSounder:
         tx_weights: np.ndarray,
         rx_weights: Optional[np.ndarray] = None,
     ) -> float:
-        """Noiseless (true) link SNR [dB] through the given beams."""
+        """Noiseless (true) link SNR [dB] through the given beams.
+
+        Stuck-element faults apply here too — dead phase shifters shape
+        the data beam, not just the probes — but probe-level faults do
+        not: this is the physical link, not a measurement of it.
+        """
+        if self.fault_injector is not None:
+            tx_weights = self.fault_injector.apply_element_faults(tx_weights)
         freqs = self.config.frequency_grid()
         response = channel.frequency_response(tx_weights, freqs, rx_weights)
         return self.config.snr_db(float(np.mean(np.abs(response) ** 2)))

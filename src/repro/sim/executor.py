@@ -28,18 +28,27 @@ import time
 import traceback
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.faults import (
+    FaultInjector,
+    FaultSpec,
+    InjectedWorkerCrash,
+    install_fault_injector,
+)
 from repro.sim.link import LinkSimulator
 from repro.sim.metrics import LinkMetrics
 from repro.telemetry import (
+    EventKind,
     TelemetryRecorder,
     TelemetrySummary,
     get_recorder,
-    use_recorder,
+    set_recorder,
 )
 
 __all__ = [
@@ -59,12 +68,20 @@ __all__ = [
 
 @dataclass(frozen=True)
 class RunFailure:
-    """One seed-run that raised instead of producing metrics."""
+    """One seed-run attempt that raised instead of producing metrics.
+
+    ``kind`` classifies the failure: ``"error"`` (the simulation raised),
+    ``"timeout"`` (the run exceeded ``EnsembleSpec.timeout_s``), or
+    ``"crash"`` (the worker process died or injected chaos killed it).
+    ``attempt`` is the retry counter of the attempt that failed.
+    """
 
     seed: int
     error: str
     traceback: str
     elapsed_s: float
+    kind: str = "error"
+    attempt: int = 0
 
     def __str__(self) -> str:
         return f"seed {self.seed}: {self.error}"
@@ -72,7 +89,13 @@ class RunFailure:
 
 @dataclass(frozen=True)
 class ExecutorStats:
-    """Execution statistics for one ensemble."""
+    """Execution statistics for one ensemble.
+
+    ``workers`` is the number of workers *actually used* — the pool is
+    never wider than the seed count, and the serial backend always uses
+    one — so :attr:`utilization` reflects real pool occupancy.
+    ``run_times_s`` includes every attempt (retries are real cost).
+    """
 
     backend: str
     workers: int
@@ -80,6 +103,13 @@ class ExecutorStats:
     failed_runs: int
     wall_time_s: float
     run_times_s: Tuple[float, ...]
+    #: Retry accounting (deterministic: same spec -> same counts).
+    total_retries: int = 0
+    retried_runs: int = 0
+    timed_out_runs: int = 0
+    #: Runs executed on the in-process serial path after the process
+    #: pool broke (``BrokenProcessPool`` fallback).
+    serial_fallback_runs: int = 0
 
     @property
     def completed_runs(self) -> int:
@@ -111,12 +141,22 @@ class ExecutorStats:
         return self.total_runs / self.wall_time_s
 
     def describe(self) -> str:
-        return (
+        line = (
             f"{self.backend} x{self.workers}: {self.completed_runs}"
             f"/{self.total_runs} runs in {self.wall_time_s:.2f} s "
             f"({self.runs_per_second:.1f} runs/s, "
             f"utilization {self.utilization:.0%})"
         )
+        if self.total_retries:
+            line += (
+                f" [{self.total_retries} retr{'y' if self.total_retries == 1 else 'ies'}"
+                f" over {self.retried_runs} run(s)]"
+            )
+        if self.timed_out_runs:
+            line += f" [{self.timed_out_runs} timeout(s)]"
+        if self.serial_fallback_runs:
+            line += f" [{self.serial_fallback_runs} serial-fallback run(s)]"
+        return line
 
 
 @dataclass(frozen=True)
@@ -208,6 +248,20 @@ class EnsembleSpec:
     #: also collected when the calling process already has an active
     #: recorder (``repro run --trace``), regardless of this flag.
     telemetry: bool = False
+    #: Per-run wall-clock budget [s].  A run whose result is not
+    #: available within this budget is recorded as a ``"timeout"``
+    #: :class:`RunFailure` (and retried if ``max_retries`` allows).
+    timeout_s: Optional[float] = None
+    #: How many times a failed seed-run is re-attempted.  Retries are
+    #: deterministic: the retry schedule depends only on the spec, and
+    #: each attempt passes its index to the fault injector so injected
+    #: executor chaos redraws per attempt.
+    max_retries: int = 0
+    #: Fault-injection campaign applied inside every run (a
+    #: :class:`repro.faults.FaultInjector` is built per ``(seed,
+    #: attempt)``).  Empty means no injector at all; all-zero rates are
+    #: bitwise identical to that.
+    faults: Tuple[FaultSpec, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -222,6 +276,17 @@ class EnsembleSpec:
                 "max_failure_fraction must be in [0, 1], got "
                 f"{self.max_failure_fraction!r}"
             )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s!r}")
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries!r}"
+            )
+        faults = tuple(self.faults)
+        for spec in faults:
+            if not isinstance(spec, FaultSpec):
+                raise TypeError(f"faults must be FaultSpec instances, got {spec!r}")
+        object.__setattr__(self, "faults", faults)
 
     def with_options(self, **changes) -> "EnsembleSpec":
         """A copy of this spec with the given fields replaced."""
@@ -265,16 +330,38 @@ def _run_one_seed(payload: tuple) -> tuple:
     exist, and shipped back as a string.  When telemetry is requested, a
     recorder scoped to ``"<label>/seed<n>"`` is installed for the run and
     its summary + raw events ship back as plain picklable data.
+
+    When the payload carries fault specs, a :class:`FaultInjector` keyed
+    by ``(seed, attempt)`` is built first: executor chaos (slow run,
+    injected worker crash) applies before the simulation, and the
+    injector is installed on the manager/sounder for in-run faults.
     """
     (seed, label, scenario_factory, manager_factory, duration_s,
-     sample_period_s, maintenance_period_s, collect_telemetry) = payload
+     sample_period_s, maintenance_period_s, collect_telemetry,
+     faults, attempt) = payload
     started = time.perf_counter()
     recorder = (
         TelemetryRecorder(scope=f"{label}/seed{int(seed)}")
         if collect_telemetry
         else None
     )
+    previous_recorder = None
+    if recorder is not None:
+        previous_recorder = set_recorder(recorder)
     try:
+        injector = None
+        if faults:
+            injector = FaultInjector(
+                seed=int(seed), specs=faults, attempt=int(attempt)
+            )
+            delay_s = injector.chaos_delay_s()
+            if delay_s > 0.0:
+                time.sleep(delay_s)
+            if injector.chaos_crash():
+                raise InjectedWorkerCrash(
+                    f"injected worker crash (seed {int(seed)}, "
+                    f"attempt {int(attempt)})"
+                )
         simulator = LinkSimulator(
             scenario=scenario_factory(int(seed)),
             manager=manager_factory(int(seed)),
@@ -282,11 +369,9 @@ def _run_one_seed(payload: tuple) -> tuple:
             sample_period_s=sample_period_s,
             maintenance_period_s=maintenance_period_s,
         )
-        if recorder is not None:
-            with use_recorder(recorder):
-                metrics = simulator.run().metrics()
-        else:
-            metrics = simulator.run().metrics()
+        if injector is not None:
+            install_fault_injector(simulator.manager, injector)
+        metrics = simulator.run().metrics()
     except Exception as error:  # per-seed fault tolerance
         return (
             "failure",
@@ -295,8 +380,13 @@ def _run_one_seed(payload: tuple) -> tuple:
                 error=repr(error),
                 traceback=traceback.format_exc(),
                 elapsed_s=time.perf_counter() - started,
+                kind="crash" if isinstance(error, InjectedWorkerCrash) else "error",
+                attempt=int(attempt),
             ),
         )
+    finally:
+        if recorder is not None:
+            set_recorder(previous_recorder)
     run_telemetry = (
         None
         if recorder is None
@@ -327,75 +417,248 @@ def _resolve_backend(spec: EnsembleSpec) -> str:
     return "process"
 
 
+def _make_payload(
+    spec: EnsembleSpec, seed: int, collect_telemetry: bool, attempt: int
+) -> tuple:
+    return (
+        seed,
+        spec.label,
+        spec.scenario_factory,
+        spec.manager_factory,
+        spec.duration_s,
+        spec.sample_period_s,
+        spec.maintenance_period_s,
+        collect_telemetry,
+        spec.faults,
+        attempt,
+    )
+
+
+def _timeout_failure(payload: tuple, elapsed_s: float, timeout_s: float) -> tuple:
+    return (
+        "failure",
+        RunFailure(
+            seed=int(payload[0]),
+            error=f"TimeoutError: run exceeded timeout_s={timeout_s}",
+            traceback="",
+            elapsed_s=float(elapsed_s),
+            kind="timeout",
+            attempt=int(payload[-1]),
+        ),
+    )
+
+
+def _run_serial_item(payload: tuple, timeout_s: Optional[float]) -> tuple:
+    """One in-process run, with the timeout enforced post hoc.
+
+    The serial path cannot preempt a run, but converting an over-budget
+    success into the same ``"timeout"`` failure keeps serial and process
+    backends semantically aligned (and retryable the same way).
+    """
+    outcome = _run_one_seed(payload)
+    if (
+        timeout_s is not None
+        and outcome[0] == "success"
+        and outcome[3] > timeout_s
+    ):
+        return _timeout_failure(payload, outcome[3], timeout_s)
+    if (
+        timeout_s is not None
+        and outcome[0] == "failure"
+        and outcome[1].elapsed_s > timeout_s
+        and outcome[1].kind != "timeout"
+    ):
+        return _timeout_failure(payload, outcome[1].elapsed_s, timeout_s)
+    return outcome
+
+
+def _run_process_batch(
+    items: Sequence[Tuple[int, tuple]],
+    workers: int,
+    timeout_s: Optional[float],
+) -> Tuple[Dict[int, tuple], List[Tuple[int, tuple]], bool]:
+    """Run ``(index, payload)`` items on a process pool.
+
+    Returns ``(results, leftover, broke)``: per-index outcomes, the items
+    that never got a result because the pool broke, and whether it broke.
+    A ``KeyboardInterrupt`` cancels all queued work and *waits* for the
+    pool to drain before re-raising, so no orphaned workers survive.
+    """
+    results: Dict[int, tuple] = {}
+    broke = False
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                (index, payload, pool.submit(_run_one_seed, payload))
+                for index, payload in items
+            ]
+            try:
+                for index, payload, future in futures:
+                    try:
+                        results[index] = future.result(timeout=timeout_s)
+                    except FuturesTimeoutError:
+                        future.cancel()
+                        results[index] = _timeout_failure(
+                            payload, timeout_s, timeout_s
+                        )
+                    except BrokenProcessPool:
+                        broke = True
+                        break
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except BaseException as error:
+                        # The worker's exception came back unpicklable or
+                        # the worker died oddly; record it, keep going.
+                        results[index] = (
+                            "failure",
+                            RunFailure(
+                                seed=int(payload[0]),
+                                error=repr(error),
+                                traceback="",
+                                elapsed_s=0.0,
+                                kind="crash",
+                                attempt=int(payload[-1]),
+                            ),
+                        )
+            except (KeyboardInterrupt, SystemExit):
+                pool.shutdown(wait=True, cancel_futures=True)
+                raise
+    except BrokenProcessPool:
+        broke = True
+    leftover = [(index, payload) for index, payload in items if index not in results]
+    return results, leftover, broke
+
+
 def execute_ensemble(spec: EnsembleSpec) -> EnsembleSummary:
     """Run every seed of ``spec`` and summarize the distribution.
 
     Seeds run in parallel when ``spec.workers > 1`` (process pool), with
     results collected in seed order so the output is independent of the
-    backend.  Raises :class:`EnsembleError` when the failed fraction
-    exceeds ``spec.max_failure_fraction`` or no run succeeded.
+    backend.  Failed seeds are retried up to ``spec.max_retries`` times
+    (each attempt's index feeds the fault injector, so injected chaos
+    redraws); a broken process pool drops the remaining seeds onto the
+    serial path instead of aborting.  Raises :class:`EnsembleError` when
+    the failed fraction exceeds ``spec.max_failure_fraction`` or no run
+    succeeded.
     """
     backend = _resolve_backend(spec)
     parent_recorder = get_recorder()
     collect_telemetry = spec.telemetry or parent_recorder.enabled
-    payloads = [
-        (
-            seed,
-            spec.label,
-            spec.scenario_factory,
-            spec.manager_factory,
-            spec.duration_s,
-            spec.sample_period_s,
-            spec.maintenance_period_s,
-            collect_telemetry,
-        )
-        for seed in spec.seeds
-    ]
+    actual_workers = (
+        min(spec.workers, len(spec.seeds)) if backend == "process" else 1
+    )
     started = time.perf_counter()
-    if backend == "process":
-        workers = min(spec.workers, len(spec.seeds))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(_run_one_seed, payloads, chunksize=1))
-    else:
-        outcomes = [_run_one_seed(payload) for payload in payloads]
+
+    outcomes: Dict[int, tuple] = {}
+    last_failure: Dict[int, RunFailure] = {}
+    run_times: List[float] = []
+    total_retries = 0
+    retried_indexes: set = set()
+    timed_out = 0
+    serial_fallback_runs = 0
+    pool_broken = False
+
+    pending: List[Tuple[int, int, int]] = [
+        (index, seed, 0) for index, seed in enumerate(spec.seeds)
+    ]
+    for _round in range(spec.max_retries + 1):
+        if not pending:
+            break
+        if _round > 0:
+            total_retries += len(pending)
+            for index, seed, attempt in pending:
+                retried_indexes.add(index)
+                if parent_recorder.enabled:
+                    parent_recorder.emit(
+                        EventKind.RUN_RETRY,
+                        0.0,
+                        label=spec.label,
+                        seed=int(seed),
+                        attempt=int(attempt),
+                        error=last_failure[index].error,
+                    )
+                    parent_recorder.counter("executor.retries").inc()
+        items = [
+            (index, _make_payload(spec, seed, collect_telemetry, attempt))
+            for index, seed, attempt in pending
+        ]
+        results: Dict[int, tuple] = {}
+        if backend == "process" and not pool_broken:
+            results, leftover, broke = _run_process_batch(
+                items, actual_workers, spec.timeout_s
+            )
+            if broke:
+                # The pool is gone (a worker died hard).  Finish the
+                # orphaned items in-process rather than giving up.
+                pool_broken = True
+                if parent_recorder.enabled:
+                    parent_recorder.emit(
+                        EventKind.FALLBACK_ENGAGED,
+                        0.0,
+                        fallback="serial_executor",
+                        label=spec.label,
+                        remaining=len(leftover),
+                    )
+                    parent_recorder.counter("executor.serial_fallbacks").inc()
+                for index, payload in leftover:
+                    results[index] = _run_serial_item(payload, spec.timeout_s)
+                    serial_fallback_runs += 1
+        else:
+            for index, payload in items:
+                results[index] = _run_serial_item(payload, spec.timeout_s)
+                if pool_broken:
+                    serial_fallback_runs += 1
+        next_pending: List[Tuple[int, int, int]] = []
+        for index, seed, attempt in pending:
+            outcome = results[index]
+            if outcome[0] == "success":
+                outcomes[index] = outcome
+                run_times.append(outcome[3])
+                last_failure.pop(index, None)
+            else:
+                failure = outcome[1]
+                run_times.append(failure.elapsed_s)
+                last_failure[index] = failure
+                if failure.kind == "timeout":
+                    timed_out += 1
+                next_pending.append((index, seed, attempt + 1))
+        pending = next_pending
     wall_time_s = time.perf_counter() - started
 
     metrics: List[LinkMetrics] = []
-    failures: List[RunFailure] = []
-    run_times: List[float] = []
     run_summaries: List[TelemetrySummary] = []
-    for outcome in outcomes:
-        if outcome[0] == "success":
-            _, _, run_metrics, elapsed_s, run_telemetry = outcome
-            metrics.append(run_metrics)
-            run_times.append(elapsed_s)
-            if run_telemetry is not None:
-                summary, events = run_telemetry
-                run_summaries.append(summary)
-                if parent_recorder.enabled:
-                    # Per-seed logs flow back into the caller's trace.
-                    parent_recorder.absorb(events)
-        else:
-            failures.append(outcome[1])
-            run_times.append(outcome[1].elapsed_s)
+    for index in sorted(outcomes):
+        _, _, run_metrics, _elapsed_s, run_telemetry = outcomes[index]
+        metrics.append(run_metrics)
+        if run_telemetry is not None:
+            summary, events = run_telemetry
+            run_summaries.append(summary)
+            if parent_recorder.enabled:
+                # Per-seed logs flow back into the caller's trace.
+                parent_recorder.absorb(events)
+    failures = tuple(last_failure[index] for index in sorted(last_failure))
 
     total = len(spec.seeds)
     fraction = len(failures) / total
     if not metrics or fraction > spec.max_failure_fraction:
-        raise EnsembleError(spec.label, tuple(failures), total)
+        raise EnsembleError(spec.label, failures, total)
 
     stats = ExecutorStats(
         backend=backend,
-        workers=spec.workers if backend == "process" else 1,
+        workers=actual_workers,
         total_runs=total,
         failed_runs=len(failures),
         wall_time_s=wall_time_s,
         run_times_s=tuple(run_times),
+        total_retries=total_retries,
+        retried_runs=len(retried_indexes),
+        timed_out_runs=timed_out,
+        serial_fallback_runs=serial_fallback_runs,
     )
     return EnsembleSummary(
         label=spec.label,
         metrics=tuple(metrics),
-        failures=tuple(failures),
+        failures=failures,
         stats=stats,
         telemetry=(
             TelemetrySummary.merge(run_summaries)

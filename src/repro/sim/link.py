@@ -36,6 +36,15 @@ class SimulationTrace:
     training_rounds: int
     probe_airtime_s: float
     bandwidth_hz: float
+    #: ``(start_s, end_s)`` intervals during which the control loop was
+    #: broken (establish/step raised) and the simulator carried on with
+    #: whatever weights it had.  Empty on a healthy run.
+    degraded_windows: Tuple[Tuple[float, float], ...] = ()
+
+    @property
+    def degraded_time_s(self) -> float:
+        """Total time spent in degraded (control-loop-down) intervals."""
+        return float(sum(end - start for start, end in self.degraded_windows))
 
     def metrics(self, outage_threshold_db: Optional[float] = None) -> LinkMetrics:
         """Summarize the trace into the paper's metrics."""
@@ -74,10 +83,19 @@ class LinkSimulator:
             )
 
     def run(self) -> SimulationTrace:
-        """Establish at t=0, then sample and maintain until the horizon."""
+        """Establish at t=0, then sample and maintain until the horizon.
+
+        A control-loop failure (establish or step raising) degrades the
+        run instead of aborting it: the interval is recorded on
+        ``degraded_windows``, the link reads as down (or coasts on its
+        last weights), and establishment is re-attempted at every
+        maintenance opportunity until it succeeds.
+        """
         times = np.arange(0.0, self.duration_s, self.sample_period_s)
         snr = np.empty(times.shape)
         actions: List[Tuple[float, str]] = []
+        degraded: List[Tuple[float, float]] = []
+        degraded_since: Optional[float] = None
 
         recorder = get_recorder()
         tracing = recorder.enabled
@@ -85,20 +103,63 @@ class LinkSimulator:
             recorder.begin_run(type(self.manager).__name__, time_s=0.0)
         last_mcs: Optional[int] = None
 
+        def enter_degraded(time_s: float, stage: str, error: Exception) -> None:
+            nonlocal degraded_since
+            if degraded_since is not None:
+                return
+            degraded_since = time_s
+            actions.append((time_s, f"degraded:{stage}"))
+            if tracing:
+                recorder.emit(
+                    EventKind.FALLBACK_ENGAGED,
+                    time_s,
+                    fallback="simulator_degraded",
+                    stage=stage,
+                    error=repr(error),
+                )
+                recorder.counter("sim.degraded_intervals").inc()
+
+        def exit_degraded(time_s: float) -> None:
+            nonlocal degraded_since
+            if degraded_since is None:
+                return
+            degraded.append((degraded_since, time_s))
+            degraded_since = None
+
+        established = False
         initial = self.scenario.channel_at(0.0)
-        with recorder.timer("sim.establish_s"):
-            self.manager.establish(initial, time_s=0.0)
+        try:
+            with recorder.timer("sim.establish_s"):
+                self.manager.establish(initial, time_s=0.0)
+            established = True
+        except Exception as error:
+            enter_degraded(0.0, "establish", error)
         next_maintenance = self.maintenance_period_s
 
         for i, t in enumerate(times):
             channel = self.scenario.channel_at(float(t))
             if t >= next_maintenance:
-                with recorder.timer("sim.maintenance_step_s"):
-                    report = self.manager.step(channel, time_s=float(t))
-                if getattr(report, "action", "none") != "none":
-                    actions.append((float(t), report.action))
+                try:
+                    if not established:
+                        self.manager.establish(channel, time_s=float(t))
+                        established = True
+                    else:
+                        with recorder.timer("sim.maintenance_step_s"):
+                            report = self.manager.step(channel, time_s=float(t))
+                        if getattr(report, "action", "none") != "none":
+                            actions.append((float(t), report.action))
+                except Exception as error:
+                    enter_degraded(float(t), "step" if established else "establish", error)
+                else:
+                    exit_degraded(float(t))
                 next_maintenance += self.maintenance_period_s
-            snr[i] = self.manager.link_snr_db(channel)
+            if established:
+                try:
+                    snr[i] = self.manager.link_snr_db(channel)
+                except Exception:
+                    snr[i] = -np.inf
+            else:
+                snr[i] = -np.inf
             if tracing:
                 entry = select_mcs(float(snr[i]))
                 index = None if entry is None else entry.index
@@ -114,6 +175,7 @@ class LinkSimulator:
                     )
                     last_mcs = index
 
+        exit_degraded(float(self.duration_s))
         budget = getattr(self.manager, "budget", None)
         probe_airtime = budget.airtime_s() if budget is not None else 0.0
         if tracing:
@@ -135,4 +197,5 @@ class LinkSimulator:
             training_rounds=getattr(self.manager, "training_rounds", 0),
             probe_airtime_s=probe_airtime,
             bandwidth_hz=self.manager.sounder.config.bandwidth_hz,
+            degraded_windows=tuple(degraded),
         )

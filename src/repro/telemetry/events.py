@@ -37,6 +37,16 @@ class EventKind:
     #: One simulated run began / ended.
     RUN_START = "run_start"
     RUN_END = "run_end"
+    #: A fault injector fired (probe loss, stuck elements, chaos, ...).
+    FAULT_INJECTED = "fault_injected"
+    #: A degenerate probe measurement was retried within the budget.
+    PROBE_RETRY = "probe_retry"
+    #: A consumer dropped to a degraded mode instead of failing.
+    FALLBACK_ENGAGED = "fallback_engaged"
+    #: The tracking-divergence watchdog forced a full retrain.
+    WATCHDOG_TRIP = "watchdog_trip"
+    #: The executor re-queued a failed run for another attempt.
+    RUN_RETRY = "run_retry"
 
     @classmethod
     def all(cls) -> Tuple[str, ...]:
