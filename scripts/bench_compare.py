@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON run against a committed baseline.
+
+Usage:
+
+    python scripts/bench_compare.py NEW.json [--baseline BENCH_baseline.json]
+        [--fail-above 0.20] [--warn-above 0.05]
+
+Benchmarks are matched by ``name``.  A benchmark whose mean time exceeds
+the baseline mean by more than ``--fail-above`` (fractional, default 20%)
+fails the run; regressions above ``--warn-above`` only warn.  Benchmarks
+present on one side only are reported but never fail — the baseline is
+refreshed deliberately, not implicitly.
+
+Exit status: 0 when no benchmark regresses past the fail threshold,
+1 otherwise, 2 on malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_means(path: Path) -> dict:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read {path}: {error}", file=sys.stderr)
+        raise SystemExit(2)
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        print(f"error: {path} has no 'benchmarks' list", file=sys.stderr)
+        raise SystemExit(2)
+    means = {}
+    for bench in benchmarks:
+        try:
+            means[bench["name"]] = float(bench["stats"]["mean"])
+        except (KeyError, TypeError, ValueError):
+            print(
+                f"error: malformed benchmark entry in {path}: {bench!r:.120}",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+    return means
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("new", type=Path, help="benchmark JSON to check")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_baseline.json",
+        help="baseline benchmark JSON (default: repo BENCH_baseline.json)",
+    )
+    parser.add_argument(
+        "--fail-above",
+        type=float,
+        default=0.20,
+        help="fractional slowdown that fails the comparison (default 0.20)",
+    )
+    parser.add_argument(
+        "--warn-above",
+        type=float,
+        default=0.05,
+        help="fractional slowdown that warns (default 0.05)",
+    )
+    args = parser.parse_args(argv)
+    if args.fail_above < args.warn_above:
+        parser.error("--fail-above must be >= --warn-above")
+
+    baseline = load_means(args.baseline)
+    new = load_means(args.new)
+
+    failures = []
+    warnings = []
+    for name in sorted(set(baseline) & set(new)):
+        old_mean, new_mean = baseline[name], new[name]
+        if old_mean <= 0:
+            continue
+        ratio = new_mean / old_mean
+        line = (
+            f"{name}: {old_mean * 1e3:.3f} ms -> {new_mean * 1e3:.3f} ms "
+            f"({ratio:.2f}x)"
+        )
+        if ratio > 1.0 + args.fail_above:
+            failures.append(line)
+        elif ratio > 1.0 + args.warn_above:
+            warnings.append(line)
+        else:
+            print(f"ok    {line}")
+    for line in warnings:
+        print(f"WARN  {line}")
+    for line in failures:
+        print(f"FAIL  {line}")
+
+    only_old = sorted(set(baseline) - set(new))
+    only_new = sorted(set(new) - set(baseline))
+    if only_old:
+        print(f"note: {len(only_old)} baseline benchmark(s) not in this run")
+    for name in only_new:
+        print(f"note: new benchmark without baseline: {name}")
+
+    compared = len(set(baseline) & set(new))
+    print(
+        f"compared {compared} benchmark(s): "
+        f"{len(failures)} fail, {len(warnings)} warn"
+    )
+    if compared == 0:
+        print("error: no overlapping benchmarks to compare", file=sys.stderr)
+        return 2
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

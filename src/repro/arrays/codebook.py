@@ -16,6 +16,11 @@ import numpy as np
 from repro.arrays.geometry import UniformLinearArray
 from repro.arrays.steering import single_beam_weights
 from repro.arrays.weights import BeamWeights
+from repro.perf.cache import BoundedCache
+
+#: Uniform training codebooks keyed on (array, num_beams, field of view).
+#: Reactive baselines rebuild the same scan codebook on every retrain.
+_CODEBOOK_CACHE = BoundedCache("arrays.codebook", maxsize=64)
 
 
 @dataclass(frozen=True)
@@ -71,6 +76,15 @@ def uniform_codebook(
         raise ValueError(
             f"field_of_view_rad must be in (0, pi], got {field_of_view_rad!r}"
         )
+    return _CODEBOOK_CACHE.get_or_build(
+        (array, int(num_beams), float(field_of_view_rad)),
+        lambda: _build_uniform_codebook(array, num_beams, field_of_view_rad),
+    )
+
+
+def _build_uniform_codebook(
+    array: UniformLinearArray, num_beams: int, field_of_view_rad: float
+) -> Codebook:
     half = field_of_view_rad / 2.0
     angles = np.linspace(-half, half, num_beams)
     entries = tuple(

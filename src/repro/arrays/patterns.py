@@ -18,7 +18,7 @@ import numpy as np
 from scipy.optimize import brentq
 
 from repro.arrays.geometry import UniformLinearArray
-from repro.arrays.steering import steering_vector
+from repro.arrays.steering import cached_steering_matrix, steering_vector
 
 
 def array_factor(
@@ -26,9 +26,15 @@ def array_factor(
 ) -> np.ndarray:
     """Complex array factor ``a(phi)^T w`` on a grid of angles.
 
-    Returns an array with the same shape as ``angles_rad``.
+    Returns an array with the same shape as ``angles_rad``.  1-D angle
+    grids share a cached steering matrix, so sweeping many weight vectors
+    over the same grid only builds it once.
     """
-    a = steering_vector(array, angles_rad)  # (..., N)
+    angles = np.asarray(angles_rad, dtype=float)
+    if angles.ndim == 1:
+        a = cached_steering_matrix(array, angles)  # (num, N)
+    else:
+        a = steering_vector(array, angles)  # (..., N)
     return a @ np.asarray(weights, dtype=complex)
 
 
@@ -54,7 +60,11 @@ def _dirichlet(num_elements: int, psi: np.ndarray) -> np.ndarray:
     """
     psi = np.asarray(psi, dtype=float)
     den = num_elements * np.sin(psi / 2.0)
-    grating = np.isclose(den, 0.0, atol=1e-12)
+    # |den| <= atol is exactly np.isclose(den, 0, atol=...) against a zero
+    # target, without isclose's per-call overhead on the tracker hot path.
+    grating = np.abs(den) <= 1e-12
+    if not np.any(grating):
+        return np.sin(num_elements * psi / 2.0) / den
     with np.errstate(divide="ignore", invalid="ignore"):
         value = np.where(
             grating,

@@ -21,6 +21,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro.arrays.geometry import UniformLinearArray
+from repro.perf.cache import BoundedCache, array_key
+
+#: Single-beam weight vectors keyed on (array geometry, steer angle).
+#: The maintenance loop re-derives the same handful of beams every round.
+_WEIGHTS_CACHE = BoundedCache("steering.single_beam", maxsize=1024)
+
+#: Steering matrices on angle grids, keyed on (array, grid contents).
+_GRID_CACHE = BoundedCache("steering.grid", maxsize=64)
+
+#: Grids smaller than this bypass the cache: the tobytes key plus lookup
+#: costs about as much as just rebuilding a handful of steering vectors,
+#: and tiny per-path lookups would thrash the LRU.
+_GRID_CACHE_MIN_POINTS = 16
 
 
 def steering_vector(array: UniformLinearArray, angle_rad: float) -> np.ndarray:
@@ -40,12 +53,61 @@ def steering_vector(array: UniformLinearArray, angle_rad: float) -> np.ndarray:
     return np.exp(phase)
 
 
+def cached_steering_matrix(
+    array: UniformLinearArray, angles_rad: np.ndarray
+) -> np.ndarray:
+    """Steering matrix for a 1-D angle grid, cached on its exact contents.
+
+    Pattern sweeps (array-factor grids, codebook scans) evaluate many
+    weight vectors against the same angle grid; the matrix is keyed on
+    ``(array geometry, grid bytes)`` so every sweep after the first is a
+    lookup.  The returned matrix is read-only and shared between callers.
+    Grids too small to be worth hashing, and non-1-D inputs, fall through
+    to a plain (uncached) :func:`steering_vector` build.
+    """
+    angles = np.ascontiguousarray(angles_rad, dtype=float)
+    if angles.ndim != 1 or angles.size < _GRID_CACHE_MIN_POINTS:
+        return steering_vector(array, angles)
+    return _GRID_CACHE.get_or_build(
+        (array, array_key(angles)),
+        lambda: steering_vector(array, angles),
+    )
+
+
+def steering_grid(
+    array: UniformLinearArray,
+    start_rad: float,
+    stop_rad: float,
+    num_points: int,
+) -> np.ndarray:
+    """Cached steering matrix on a uniform angle grid, shape ``(num, N)``.
+
+    Convenience wrapper over :func:`cached_steering_matrix` for grids
+    specified as a linspace.
+    """
+    return cached_steering_matrix(
+        array, np.linspace(start_rad, stop_rad, int(num_points))
+    )
+
+
 def single_beam_weights(array: UniformLinearArray, angle_rad: float) -> np.ndarray:
     """Unit-norm single-beam weights ``w_phi`` steered to ``angle_rad`` (Eq. 6).
 
     The returned vector satisfies ``||w|| == 1`` (TRP conservation) and
-    maximizes ``|a(phi)^T w|`` over all unit-norm vectors.
+    maximizes ``|a(phi)^T w|`` over all unit-norm vectors.  Scalar-angle
+    results are cached (read-only) keyed on the array geometry and angle.
     """
+    if np.ndim(angle_rad) == 0:
+        return _WEIGHTS_CACHE.get_or_build(
+            (array, float(angle_rad)),
+            lambda: _build_single_beam_weights(array, float(angle_rad)),
+        )
+    return _build_single_beam_weights(array, angle_rad)
+
+
+def _build_single_beam_weights(
+    array: UniformLinearArray, angle_rad: float
+) -> np.ndarray:
     a = steering_vector(array, angle_rad)
     return np.conj(a) / np.sqrt(array.num_elements)
 

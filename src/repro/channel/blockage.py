@@ -75,6 +75,23 @@ class BlockageEvent:
         release = min(remaining / ramp, 1.0)
         return self.depth_db * min(onset, release)
 
+    def attenuation_db_batch(self, times_s: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`attenuation_db` over a time array.
+
+        Same elementwise trapezoid arithmetic as the scalar path, so the
+        results are bitwise-identical per sample.
+        """
+        times = np.asarray(times_s, dtype=float)
+        inside = (times > self.start_s) & (times < self.end_s)
+        ramp = min(self.ramp_s, self.duration_s / 2.0)
+        if ramp == 0:
+            return np.where(inside, self.depth_db, 0.0)
+        onset = np.minimum((times - self.start_s) / ramp, 1.0)
+        release = np.minimum((self.end_s - times) / ramp, 1.0)
+        return np.where(
+            inside, self.depth_db * np.minimum(onset, release), 0.0
+        )
+
 
 @dataclass(frozen=True)
 class BlockageSchedule:
@@ -105,6 +122,29 @@ class BlockageSchedule:
     def amplitude_factors(self, time_s: float, num_paths: int) -> np.ndarray:
         """Per-path linear amplitude multipliers at an instant."""
         return 10.0 ** (-self.attenuation_db(time_s, num_paths) / 20.0)
+
+    def attenuation_db_batch(
+        self, times_s: np.ndarray, num_paths: int
+    ) -> np.ndarray:
+        """Per-path attenuation for a time array, shape ``(T, num_paths)``.
+
+        Events accumulate in the same order as the scalar path, so each
+        row is bitwise-identical to :meth:`attenuation_db` at that time.
+        """
+        times = np.asarray(times_s, dtype=float)
+        attenuation = np.zeros((times.shape[0], num_paths))
+        for event in self.events:
+            if event.path_index < num_paths:
+                attenuation[:, event.path_index] += (
+                    event.attenuation_db_batch(times)
+                )
+        return attenuation
+
+    def amplitude_factors_batch(
+        self, times_s: np.ndarray, num_paths: int
+    ) -> np.ndarray:
+        """Per-path amplitude multipliers for a time array, ``(T, num_paths)``."""
+        return 10.0 ** (-self.attenuation_db_batch(times_s, num_paths) / 20.0)
 
     def blocks_everything(self, time_s: float, num_paths: int,
                           threshold_db: float = 15.0) -> bool:

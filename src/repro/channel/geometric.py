@@ -113,28 +113,56 @@ class GeometricChannel:
     # ------------------------------------------------------------------
     # Responses
     # ------------------------------------------------------------------
+    # The channel is immutable, and sounding evaluates the same instance
+    # several times per maintenance round (once per probe beam).  The
+    # weight-independent tensors — steering matrix, gain vector, and the
+    # per-frequency delay rotation — are therefore memoized on first use.
+    # Cached arrays are read-only and never returned by public accessors.
+
+    def _steering_matrix(self) -> np.ndarray:
+        cached = getattr(self, "_steering_cache", None)
+        if cached is None:
+            cached = steering_vector(self.tx_array, self.aods())  # (L, N)
+            cached.setflags(write=False)
+            object.__setattr__(self, "_steering_cache", cached)
+        return cached
+
+    def _gain_vector(self) -> np.ndarray:
+        cached = getattr(self, "_gains_cache", None)
+        if cached is None:
+            cached = self.gains()
+            cached.setflags(write=False)
+            object.__setattr__(self, "_gains_cache", cached)
+        return cached
+
+    def _delay_rotation(self, freqs: np.ndarray) -> np.ndarray:
+        cached = getattr(self, "_rotation_cache", None)
+        if cached is not None:
+            key, value = cached
+            if key is freqs or np.array_equal(key, freqs):
+                return value
+        value = np.exp(-2j * np.pi * np.outer(freqs, self.delays()))  # (F, L)
+        value.setflags(write=False)
+        object.__setattr__(self, "_rotation_cache", (freqs, value))
+        return value
+
     def narrowband_vector(self) -> np.ndarray:
         """Per-tx-element narrowband channel ``h[n]`` (Eq. 7), shape (N,).
 
         Delays are folded into each path's complex gain at the carrier, so
         this is the channel at the band center.
         """
-        a = steering_vector(self.tx_array, self.aods())  # (L, N)
-        return self.gains() @ a
+        return self._gain_vector() @ self._steering_matrix()
 
     def element_response(self, baseband_frequencies_hz) -> np.ndarray:
         """Wideband per-element channel ``h(f, n)`` (Eq. 26), shape (F, N)."""
         freqs = np.atleast_1d(np.asarray(baseband_frequencies_hz, dtype=float))
-        a = steering_vector(self.tx_array, self.aods())  # (L, N)
-        rotation = np.exp(
-            -2j * np.pi * np.outer(freqs, self.delays())
-        )  # (F, L)
-        return (rotation * self.gains()) @ a
+        rotation = self._delay_rotation(freqs)  # (F, L)
+        return (rotation * self._gain_vector()) @ self._steering_matrix()
 
     def path_tx_gains(self, tx_weights: np.ndarray) -> np.ndarray:
         """Per-path complex transmit beam response ``a(phi_l)^T w``."""
-        a = steering_vector(self.tx_array, self.aods())  # (L, N)
-        return a @ np.asarray(tx_weights, dtype=complex)
+        return self._steering_matrix() @ np.asarray(tx_weights, dtype=complex)
 
     def path_rx_gains(self, rx_weights: Optional[np.ndarray]) -> np.ndarray:
         """Per-path complex receive beam response, 1 for a quasi-omni UE."""
@@ -156,7 +184,7 @@ class GeometricChannel:
         copy of the transmit signal.
         """
         return (
-            self.gains()
+            self._gain_vector()
             * self.path_tx_gains(tx_weights)
             * self.path_rx_gains(rx_weights)
         )
@@ -174,8 +202,31 @@ class GeometricChannel:
         """
         freqs = np.atleast_1d(np.asarray(baseband_frequencies_hz, dtype=float))
         alphas = self.beamformed_path_gains(tx_weights, rx_weights)
-        rotation = np.exp(-2j * np.pi * np.outer(freqs, self.delays()))
-        return rotation @ alphas
+        return self._delay_rotation(freqs) @ alphas
+
+    def frequency_response_many(
+        self,
+        tx_weights_list,
+        baseband_frequencies_hz,
+        rx_weights: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """:meth:`frequency_response` for several transmit beams at once.
+
+        Returns shape ``(B, F)`` — one row per weight vector, matching
+        the per-beam calls to the last ulp (the stacked matmuls may pick
+        different BLAS kernels than the single-vector contractions).
+        """
+        freqs = np.atleast_1d(np.asarray(baseband_frequencies_hz, dtype=float))
+        stacked = np.stack(
+            [np.asarray(w, dtype=complex) for w in tx_weights_list], axis=1
+        )  # (N, B)
+        tx_gains = self._steering_matrix() @ stacked  # (L, B)
+        alphas = (
+            self._gain_vector()[:, None]
+            * tx_gains
+            * self.path_rx_gains(rx_weights)[:, None]
+        )  # (L, B)
+        return (self._delay_rotation(freqs) @ alphas).T  # (B, F)
 
     def frequency_response_with_array_weights(
         self,

@@ -9,7 +9,7 @@ arrival needed when the UE is also directional (Section 4.4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Sequence, Tuple
 
 import numpy as np
@@ -56,25 +56,50 @@ class Path:
             return -np.inf
         return 10.0 * np.log10(self.power)
 
+    # The copy-with-change helpers below construct directly instead of
+    # going through dataclasses.replace: they sit on the simulator's
+    # per-tick channel path, where replace's field introspection is
+    # measurable overhead.
+
     def attenuated(self, linear_amplitude_factor: float) -> "Path":
         """A copy with the gain scaled (e.g. by a blockage attenuation)."""
-        return replace(self, gain=self.gain * linear_amplitude_factor)
+        return Path(
+            aod_rad=self.aod_rad,
+            gain=self.gain * linear_amplitude_factor,
+            delay_s=self.delay_s,
+            aoa_rad=self.aoa_rad,
+            label=self.label,
+        )
 
     def with_gain(self, gain: complex) -> "Path":
         """A copy with the complex gain replaced (e.g. a phase rotation)."""
-        return replace(self, gain=complex(gain))
+        return Path(
+            aod_rad=self.aod_rad,
+            gain=complex(gain),
+            delay_s=self.delay_s,
+            aoa_rad=self.aoa_rad,
+            label=self.label,
+        )
 
     def rotated(self, aod_offset_rad: float, aoa_offset_rad: float = 0.0) -> "Path":
         """A copy with the departure/arrival angles shifted (mobility)."""
-        return replace(
-            self,
+        return Path(
             aod_rad=self.aod_rad + aod_offset_rad,
+            gain=self.gain,
+            delay_s=self.delay_s,
             aoa_rad=self.aoa_rad + aoa_offset_rad,
+            label=self.label,
         )
 
     def delayed(self, extra_delay_s: float) -> "Path":
         """A copy with extra ToF added."""
-        return replace(self, delay_s=self.delay_s + extra_delay_s)
+        return Path(
+            aod_rad=self.aod_rad,
+            gain=self.gain,
+            delay_s=self.delay_s + extra_delay_s,
+            aoa_rad=self.aoa_rad,
+            label=self.label,
+        )
 
 
 def sort_by_power(paths: Sequence[Path]) -> Tuple[Path, ...]:

@@ -25,6 +25,12 @@ from repro.arrays.geometry import UniformLinearArray
 from repro.arrays.steering import single_beam_weights
 from repro.arrays.weights import BeamWeights, WeightQuantizer
 from repro.channel.geometric import GeometricChannel
+from repro.perf.cache import BoundedCache
+
+#: Synthesized (and quantized) multi-beam weight vectors keyed on the
+#: full beam description.  ``current_weights()`` re-derives the same
+#: vector at every SNR sample between maintenance updates.
+_WEIGHTS_CACHE = BoundedCache("multibeam.weights", maxsize=512)
 
 
 @dataclass(frozen=True)
@@ -59,7 +65,19 @@ class MultiBeam:
         return len(self.angles_rad)
 
     def weights(self, quantizer: Optional[WeightQuantizer] = None) -> BeamWeights:
-        """The unit-norm constructive weight vector (Eq. 10 / Eq. 29)."""
+        """The unit-norm constructive weight vector (Eq. 10 / Eq. 29).
+
+        Results are cached keyed on ``(array, angles, gains, quantizer)``;
+        the returned :class:`BeamWeights` wraps a read-only vector.
+        """
+        return _WEIGHTS_CACHE.get_or_build(
+            (self.array, self.angles_rad, self.relative_gains, quantizer),
+            lambda: self._build_weights(quantizer),
+        )
+
+    def _build_weights(
+        self, quantizer: Optional[WeightQuantizer]
+    ) -> BeamWeights:
         vector = constructive_multibeam(
             self.array, self.angles_rad, self.relative_gains
         )

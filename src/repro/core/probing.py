@@ -155,13 +155,14 @@ class ProbeController:
         In deployment these come for free from the beam-training sweep;
         the method exists for experiments that start from known angles.
         """
-        powers = []
-        for angle in angles_rad:
-            weights = single_beam_weights(self.array, float(angle))
-            estimate = self.sounder.sound(
-                channel, weights, rx_weights=rx_weights, time_s=time_s
-            )
-            powers.append(np.abs(estimate.csi) ** 2)
+        weights = [
+            single_beam_weights(self.array, float(angle))
+            for angle in angles_rad
+        ]
+        estimates = self.sounder.sound_many(
+            channel, weights, rx_weights=rx_weights, time_s=time_s
+        )
+        powers = [np.abs(estimate.csi) ** 2 for estimate in estimates]
         if budget is not None:
             budget.charge(ProbeKind.CSI_RS, time_s=time_s, count=len(powers))
         return powers
@@ -192,15 +193,20 @@ class ProbeController:
         rx_weights: Optional[np.ndarray],
     ) -> Tuple[np.ndarray, np.ndarray]:
         """The two equal-split probes ``p_3, p_4`` for one beam pair."""
-        measured = []
-        for phase in (0.0, np.pi / 2.0):
-            weights, norm = equal_split_probe_weights(
-                self.array, pair, (0.0, phase)
-            )
-            estimate = self.sounder.sound(
-                channel, weights, rx_weights=rx_weights, time_s=time_s
-            )
-            measured.append(np.abs(estimate.csi) ** 2 * norm ** 2)
+        probes = [
+            equal_split_probe_weights(self.array, pair, (0.0, phase))
+            for phase in (0.0, np.pi / 2.0)
+        ]
+        estimates = self.sounder.sound_many(
+            channel,
+            [weights for weights, _ in probes],
+            rx_weights=rx_weights,
+            time_s=time_s,
+        )
+        measured = [
+            np.abs(estimate.csi) ** 2 * norm ** 2
+            for estimate, (_, norm) in zip(estimates, probes)
+        ]
         if budget is not None:
             budget.charge(ProbeKind.CSI_RS, time_s=time_s, count=2)
         return measured[0], measured[1]

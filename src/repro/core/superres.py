@@ -22,7 +22,12 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.channel.wideband import dirichlet_dictionary, sinc_dictionary
+from repro.channel.wideband import (
+    dirichlet_dictionary,
+    sinc_dictionary,
+    stacked_dirichlet_dictionaries,
+    stacked_sinc_dictionaries,
+)
 
 
 def ridge_solve(
@@ -63,6 +68,7 @@ def estimate_pulse_tof(
     kernel: str = "dirichlet",
     fine_step_taps: float = 0.02,
     search_span_taps: float = 1.5,
+    fast: bool = True,
 ) -> float:
     """Sub-tap ToF of the dominant pulse in a CIR.
 
@@ -71,23 +77,39 @@ def estimate_pulse_tof(
     the rank-1 fit residual.  Used at establishment to anchor the
     super-resolver on each beam's absolute ToF far more precisely than
     the ``1/B`` tap grid allows.
-    """
-    from repro.channel.wideband import dirichlet_dictionary, sinc_dictionary
 
+    ``fast=True`` scores the whole fine grid with one stacked dictionary
+    build; ``fast=False`` is the per-delay reference path.  Both keep the
+    first of tied maxima.
+    """
     cir = np.asarray(cir, dtype=complex)
     if cir.ndim != 1 or cir.size < 2:
         raise ValueError(f"CIR must be 1-D with >= 2 taps, got {cir.shape}")
-    build = dirichlet_dictionary if kernel == "dirichlet" else sinc_dictionary
     tap = 1.0 / bandwidth_hz
     coarse = int(np.argmax(np.abs(cir))) * tap
     grid = coarse + np.arange(
         -search_span_taps, search_span_taps + fine_step_taps, fine_step_taps
     ) * tap
     grid = grid[grid >= 0]
+    if fast:
+        if kernel == "dirichlet":
+            stacked = stacked_dirichlet_dictionaries(
+                grid[:, None], bandwidth_hz, cir.size
+            )
+        else:
+            stacked = stacked_sinc_dictionaries(
+                grid[:, None], bandwidth_hz, cir.size
+            )
+        columns = stacked[:, :, 0]  # (G, F)
+        # Rank-1 LS: the explained energy |<col, cir>|^2 / ||col||^2.
+        scores = np.abs(columns.conj() @ cir) ** 2 / np.einsum(
+            "gf,gf->g", columns.conj(), columns
+        ).real
+        return float(grid[int(np.argmax(scores))])
+    build = dirichlet_dictionary if kernel == "dirichlet" else sinc_dictionary
     best_delay, best_score = float(grid[0]), -np.inf
     for delay in grid:
         column = build([float(delay)], bandwidth_hz, cir.size)[:, 0]
-        # Rank-1 LS: the explained energy |<col, cir>|^2 / ||col||^2.
         score = abs(np.vdot(column, cir)) ** 2 / float(
             np.vdot(column, column).real
         )
@@ -158,6 +180,12 @@ class SuperResolver:
     #: :func:`estimate_pulse_tof`).  When set, the anchor search tracks it
     #: instead of re-deriving an ambiguous anchor from the CIR argmax.
     initial_base_s: Optional[float] = None
+    #: ``True`` assembles every candidate dictionary into one stacked
+    #: tensor and solves all ridge systems with a single batched
+    #: ``np.linalg.solve``; ``False`` is the per-candidate reference path.
+    #: Candidate order, tie-breaking, and anchor semantics are identical;
+    #: numerics agree to the tolerance documented in DESIGN.md.
+    fast: bool = True
     _last_base_s: Optional[float] = field(default=None, init=False)
 
     def __post_init__(self) -> None:
@@ -194,6 +222,65 @@ class SuperResolver:
     def resolution_s(self) -> float:
         """The classical delay resolution ``1/B`` the method beats."""
         return 1.0 / self.bandwidth_hz
+
+    def _fit_single(
+        self, delays: np.ndarray, cir: np.ndarray, relative: np.ndarray
+    ):
+        """The per-candidate reference fit (one dictionary, one solve)."""
+        if self.kernel == "dirichlet":
+            dictionary = dirichlet_dictionary(
+                delays, self.bandwidth_hz, cir.size, fast=False
+            )
+        else:
+            dictionary = sinc_dictionary(delays, self.bandwidth_hz, cir.size)
+        alphas = ridge_solve(dictionary, cir, self.regularization)
+        residual = float(np.linalg.norm(cir - dictionary @ alphas))
+        # Score by the full ridge objective: a pure-residual criterion
+        # would reward overfitting noise with huge alphas whenever two
+        # candidate delays nearly coincide.
+        objective = residual ** 2 + (
+            self.regularization * float(np.sum(np.abs(alphas) ** 2))
+        )
+        # The grid origin (reference-beam ToF), NOT the first *active*
+        # beam's delay: when the reference beam is dropped, delays[0]
+        # belongs to another beam and storing it would shift the tracked
+        # anchor by the beam spacing.
+        grid_base = float(delays[0] - relative[0])
+        return (objective, grid_base, alphas, delays, residual)
+
+    def _fit_stacked(self, delay_sets, cir: np.ndarray, relative: np.ndarray):
+        """Fit every candidate at once: stacked grams, one batched solve."""
+        delays = np.stack(delay_sets)  # (C, K)
+        if self.kernel == "dirichlet":
+            dictionaries = stacked_dirichlet_dictionaries(
+                delays, self.bandwidth_hz, cir.size
+            )
+        else:
+            dictionaries = stacked_sinc_dictionaries(
+                delays, self.bandwidth_hz, cir.size
+            )
+        hermitian = dictionaries.conj().transpose(0, 2, 1)  # (C, K, F)
+        num_columns = delays.shape[1]
+        grams = hermitian @ dictionaries + (
+            self.regularization * np.eye(num_columns)
+        )
+        projections = hermitian @ cir  # (C, K)
+        alphas = np.linalg.solve(grams, projections[:, :, None])[:, :, 0]
+        fitted = (dictionaries @ alphas[:, :, None])[:, :, 0]  # (C, F)
+        residuals = np.linalg.norm(cir[None, :] - fitted, axis=1)
+        objectives = residuals ** 2 + (
+            self.regularization * np.sum(np.abs(alphas) ** 2, axis=1)
+        )
+        return [
+            (
+                float(objectives[c]),
+                float(delays[c, 0] - relative[0]),
+                alphas[c],
+                delays[c],
+                float(residuals[c]),
+            )
+            for c in range(delays.shape[0])
+        ]
 
     def estimate(
         self,
@@ -256,12 +343,11 @@ class SuperResolver:
             spacing_offsets = np.array([0.0])
         spacing_mask = np.ones_like(relative)
         spacing_mask[0] = 0.0
-        if self.kernel == "dirichlet":
-            build_dictionary = dirichlet_dictionary
-        else:
-            build_dictionary = sinc_dictionary
+
         def evaluate(anchors):
-            found = []
+            # Candidate enumeration is shared between the fast and naive
+            # fitters so both see identical delay sets in identical order.
+            delay_sets = []
             for base in sorted(anchors):
                 for offset in offsets:
                     for spacing in spacing_offsets:
@@ -270,33 +356,15 @@ class SuperResolver:
                         )
                         if np.any(delays < 0):
                             continue
-                        dictionary = build_dictionary(
-                            delays, self.bandwidth_hz, cir.size
-                        )
-                        alphas = ridge_solve(
-                            dictionary, cir, self.regularization
-                        )
-                        residual = float(
-                            np.linalg.norm(cir - dictionary @ alphas)
-                        )
-                        # Score by the full ridge objective: a pure-residual
-                        # criterion would reward overfitting noise with huge
-                        # alphas whenever two candidate delays nearly
-                        # coincide.
-                        objective = residual ** 2 + (
-                            self.regularization
-                            * float(np.sum(np.abs(alphas) ** 2))
-                        )
-                        # The grid origin (reference-beam ToF), NOT the
-                        # first *active* beam's delay: when the reference
-                        # beam is dropped, delays[0] belongs to another
-                        # beam and storing it would shift the tracked
-                        # anchor by the beam spacing.
-                        grid_base = float(delays[0] - relative[0])
-                        found.append(
-                            (objective, grid_base, alphas, delays, residual)
-                        )
-            return found
+                        delay_sets.append(delays)
+            if not delay_sets:
+                return []
+            if self.fast:
+                return self._fit_stacked(delay_sets, cir, relative)
+            return [
+                self._fit_single(delays, cir, relative)
+                for delays in delay_sets
+            ]
 
         candidates = evaluate(anchor_candidates)
         # Re-acquisition: if the tracked anchor no longer explains the CIR

@@ -1,0 +1,15 @@
+"""Performance layer: bounded caches and vectorization helpers."""
+
+from repro.perf.cache import (
+    BoundedCache,
+    array_key,
+    cache_stats,
+    clear_caches,
+)
+
+__all__ = [
+    "BoundedCache",
+    "array_key",
+    "cache_stats",
+    "clear_caches",
+]

@@ -1,0 +1,122 @@
+"""Keyed, size-bounded caches for the hot-path kernels.
+
+The simulator rebuilds the same small dense objects — steering vectors,
+single-beam weight vectors, beam codebooks, super-resolution sinc/DFT
+dictionaries — thousands of times per simulated second.  All of them are
+pure functions of hashable inputs (frozen array geometry, float angles,
+grid specs, bandwidths), so a bounded LRU keyed on those inputs removes
+the rebuild cost without changing a single bit of output.
+
+Every cache registers itself in a process-wide registry:
+
+* :func:`clear_caches` invalidates everything (or one cache by name) —
+  required after monkeypatching kernel internals in tests;
+* :func:`cache_stats` snapshots hit/miss/size per cache;
+* each lookup bumps ``perf.cache.<name>.hits`` / ``.misses`` counters on
+  the active telemetry recorder, so ``repro trace`` can show whether the
+  fast paths were actually exercised.
+
+Cached ``ndarray`` values are frozen (``writeable=False``) before being
+shared; callers must copy before mutating (none of the hot paths do).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Optional
+
+import numpy as np
+
+#: Process-wide registry of every live cache, keyed by cache name.
+_REGISTRY: Dict[str, "BoundedCache"] = {}
+
+
+def _freeze(value):
+    """Make shared cache values safe: freeze ndarrays in place."""
+    if isinstance(value, np.ndarray):
+        value.setflags(write=False)
+    return value
+
+
+class BoundedCache:
+    """A named, size-bounded LRU cache with telemetry counters.
+
+    Parameters
+    ----------
+    name:
+        Registry key; also names the ``perf.cache.<name>.*`` counters.
+    maxsize:
+        Entry bound; the least recently used entry is evicted first.
+    """
+
+    def __init__(self, name: str, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize!r}")
+        if name in _REGISTRY:
+            raise ValueError(f"a cache named {name!r} already exists")
+        self.name = name
+        self.maxsize = int(maxsize)
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        _REGISTRY[name] = self
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_build(self, key: Hashable, build: Callable[[], object]):
+        """The cached value for ``key``, building and storing on a miss."""
+        from repro.telemetry import get_recorder
+
+        recorder = get_recorder()
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            if recorder.enabled:
+                recorder.counter(f"perf.cache.{self.name}.misses").inc()
+            value = _freeze(build())
+            self._entries[key] = value
+            if len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+            return value
+        self.hits += 1
+        if recorder.enabled:
+            recorder.counter(f"perf.cache.{self.name}.hits").inc()
+        self._entries.move_to_end(key)
+        return value
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns whether it existed."""
+        return self._entries.pop(key, None) is not None
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss tallies are kept)."""
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+        }
+
+
+def clear_caches(name: Optional[str] = None) -> None:
+    """Invalidate every registered cache, or just the named one."""
+    if name is not None:
+        _REGISTRY[name].clear()
+        return
+    for cache in _REGISTRY.values():
+        cache.clear()
+
+
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/size snapshot of every registered cache."""
+    return {name: cache.stats() for name, cache in sorted(_REGISTRY.items())}
+
+
+def array_key(values) -> bytes:
+    """A hashable key for a float/complex array's exact contents."""
+    return np.asarray(values).tobytes()

@@ -66,6 +66,22 @@ def select_mcs(snr_db: float) -> Optional[McsEntry]:
     return chosen
 
 
+#: Ascending switching thresholds aligned with ``NR_MCS_TABLE`` order.
+_MIN_SNRS_DB = np.array([entry.min_snr_db for entry in NR_MCS_TABLE])
+
+
+def select_mcs_indices(snr_db) -> np.ndarray:
+    """Vectorized :func:`select_mcs`: table index per sample, ``-1`` in outage.
+
+    Because the table thresholds ascend, "highest entry whose threshold
+    the SNR reaches" is a ``searchsorted``; NaN inputs (which satisfy no
+    threshold) map to outage explicitly.
+    """
+    snrs = np.asarray(snr_db, dtype=float)
+    indices = np.searchsorted(_MIN_SNRS_DB, snrs, side="right") - 1
+    return np.where(np.isnan(snrs), -1, indices)
+
+
 def spectral_efficiency(snr_db: float) -> float:
     """Link spectral efficiency [bits/s/Hz]; zero in outage."""
     entry = select_mcs(snr_db)

@@ -54,8 +54,19 @@ class OfdmConfig:
             raise ValueError("transmit_power_watt must be positive")
 
     def frequency_grid(self) -> np.ndarray:
-        """Baseband subcarrier frequencies, centered on 0 Hz."""
-        return ofdm_frequency_grid(self.bandwidth_hz, self.num_subcarriers)
+        """Baseband subcarrier frequencies, centered on 0 Hz.
+
+        Memoized per config (read-only): the sounder asks for the grid on
+        every sound/SNR call, and returning the same array object lets
+        downstream response caches key on identity instead of comparing
+        contents.
+        """
+        grid = getattr(self, "_grid_cache", None)
+        if grid is None:
+            grid = ofdm_frequency_grid(self.bandwidth_hz, self.num_subcarriers)
+            grid.setflags(write=False)
+            object.__setattr__(self, "_grid_cache", grid)
+        return grid
 
     @property
     def noise_power_watt(self) -> float:
@@ -69,6 +80,22 @@ class OfdmConfig:
         return 10.0 * np.log10(
             self.transmit_power_watt * mean_channel_power / self.noise_power_watt
         )
+
+    def snr_db_array(self, mean_channel_powers) -> np.ndarray:
+        """Vectorized :meth:`snr_db`: ``-inf`` wherever power is <= 0.
+
+        Positive entries go through the same multiply/divide/log10 chain
+        as the scalar path, so they are bitwise-identical per element.
+        """
+        powers = np.asarray(mean_channel_powers, dtype=float)
+        snrs = np.full(powers.shape, -np.inf)
+        positive = powers > 0
+        if np.any(positive):
+            snrs[positive] = 10.0 * np.log10(
+                self.transmit_power_watt * powers[positive]
+                / self.noise_power_watt
+            )
+        return snrs
 
 
 @dataclass(frozen=True)
@@ -133,6 +160,57 @@ class ChannelSounder:
             noisy = injector.filter_probe(noisy, time_s)
         return ChannelEstimate(csi=noisy, frequencies_hz=freqs, time_s=time_s)
 
+    def sound_many(
+        self,
+        channel: GeometricChannel,
+        tx_weights_list,
+        rx_weights: Optional[np.ndarray] = None,
+        time_s: float = 0.0,
+    ) -> list:
+        """Sound the channel once through each of several transmit beams.
+
+        The noiseless responses are computed with one stacked evaluation;
+        noise, CFO rotation, and fault filtering are then applied per
+        probe in list order.  The sounder, CFO, and fault-injector RNGs
+        are separate streams and each sees the same draw sequence as the
+        equivalent series of :meth:`sound` calls (element-fault masks are
+        drawn per beam in list order before any probe-level draws, which
+        only reorders draws *across* the independent streams), so the
+        estimates match per-beam sounding to the documented last-ulp
+        tolerance of the stacked response.
+        """
+        injector = self.fault_injector
+        weights = list(tx_weights_list)
+        if not weights:
+            return []
+        if injector is not None:
+            weights = [injector.apply_element_faults(w) for w in weights]
+        freqs = self.config.frequency_grid()
+        batched = getattr(channel, "frequency_response_many", None)
+        if batched is not None:
+            responses = batched(weights, freqs, rx_weights)  # (B, F)
+        else:  # channel double exposing only the scalar response
+            responses = [
+                channel.frequency_response(w, freqs, rx_weights)
+                for w in weights
+            ]
+        noise_variance = (
+            self.config.noise_power_watt / self.config.transmit_power_watt
+        )
+        estimates = []
+        for response in responses:
+            noisy = response + complex_awgn(
+                response.shape, noise_variance, self.rng
+            )
+            if self.cfo_model is not None:
+                noisy = self.cfo_model.apply(noisy)
+            if injector is not None:
+                noisy = injector.filter_probe(noisy, time_s)
+            estimates.append(
+                ChannelEstimate(csi=noisy, frequencies_hz=freqs, time_s=time_s)
+            )
+        return estimates
+
     def sound_with_band_weights(
         self,
         channel: GeometricChannel,
@@ -170,3 +248,46 @@ class ChannelSounder:
         freqs = self.config.frequency_grid()
         response = channel.frequency_response(tx_weights, freqs, rx_weights)
         return self.config.snr_db(float(np.mean(np.abs(response) ** 2)))
+
+    def link_snr_db_batch(
+        self,
+        channels,
+        tx_weights: np.ndarray,
+        rx_weights: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Noiseless link SNR [dB] for many channel states at once.
+
+        ``channels`` is either a :class:`~repro.channel.batch.ChannelBatch`
+        or a sequence of :class:`GeometricChannel` (which is stacked into a
+        batch when possible and otherwise evaluated one by one).  The
+        element-fault mask is deterministic per run, so applying it once
+        per call matches the per-sample path exactly.  Like
+        :meth:`link_snr_db`, this draws no noise — call order relative to
+        :meth:`sound` does not affect RNG streams.
+        """
+        from repro.channel.batch import ChannelBatch, batch_from_channels
+
+        if not isinstance(channels, ChannelBatch):
+            batch = (
+                batch_from_channels(channels) if rx_weights is None else None
+            )
+            if batch is None:
+                return np.array(
+                    [
+                        self.link_snr_db(channel, tx_weights, rx_weights)
+                        for channel in channels
+                    ],
+                    dtype=float,
+                )
+            channels = batch
+        if rx_weights is not None:
+            raise ValueError(
+                "ChannelBatch models a quasi-omni UE; rx_weights are not "
+                "supported on the batched path"
+            )
+        if self.fault_injector is not None:
+            tx_weights = self.fault_injector.apply_element_faults(tx_weights)
+        freqs = self.config.frequency_grid()
+        response = channels.frequency_response(tx_weights, freqs)
+        powers = np.mean(np.abs(response) ** 2, axis=1)
+        return self.config.snr_db_array(powers)

@@ -634,8 +634,11 @@ def execute_ensemble(spec: EnsembleSpec) -> EnsembleSummary:
             summary, events = run_telemetry
             run_summaries.append(summary)
             if parent_recorder.enabled:
-                # Per-seed logs flow back into the caller's trace.
+                # Per-seed logs flow back into the caller's trace, and
+                # metric totals (cache hit rates, batch counters) into
+                # its registry so the caller's summary reflects them.
                 parent_recorder.absorb(events)
+                parent_recorder.absorb_metrics(summary)
     failures = tuple(last_failure[index] for index in sorted(last_failure))
 
     total = len(spec.seeds)

@@ -11,6 +11,24 @@ baseline) over a scenario:
 Training windows reported by the manager are charged as link-unavailable
 time, so reactive baselines pay for their re-scans exactly as in the
 paper.
+
+Fast path
+---------
+Manager weights only change at establish/step, so between maintenance
+ticks the sample clock evaluates a pure function of the channel state.
+When the manager exposes ``link_snr_db_batch`` (and ``fast=True``), the
+simulator evaluates each inter-maintenance segment in one vectorized
+call — through the scenario's ``channel_batch`` when available, else by
+stacking per-sample channels.  The batched math agrees with the naive
+per-sample path to floating-point tolerance (see ``repro.channel.batch``);
+maintenance timing, RNG draw order, telemetry event order, and error
+handling are preserved exactly.  ``fast=False`` forces the per-sample
+reference path.
+
+Maintenance ticks are derived from an integer tick counter (the
+threshold is always ``tick * maintenance_period_s``), not by repeatedly
+adding the period, so long runs cannot drift off the sample grid through
+float accumulation.
 """
 
 from __future__ import annotations
@@ -20,9 +38,13 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.phy.mcs import select_mcs
+from repro.phy.mcs import NR_MCS_TABLE, select_mcs_indices
 from repro.sim.metrics import LinkMetrics
 from repro.telemetry import EventKind, get_recorder
+
+#: Upper bound on samples evaluated by one batched SNR call, which keeps
+#: the intermediate ``(T, F, L)`` rotation tensor's footprint bounded.
+MAX_BATCH_SAMPLES = 4096
 
 
 @dataclass(frozen=True)
@@ -71,6 +93,9 @@ class LinkSimulator:
     duration_s: float = 1.0
     sample_period_s: float = 1e-3
     maintenance_period_s: float = 5e-3
+    #: Use the segmented/batched sample-clock evaluation when the manager
+    #: supports it.  ``False`` forces the per-sample reference path.
+    fast: bool = True
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
@@ -134,46 +159,87 @@ class LinkSimulator:
             established = True
         except Exception as error:
             enter_degraded(0.0, "establish", error)
-        next_maintenance = self.maintenance_period_s
 
-        for i, t in enumerate(times):
-            channel = self.scenario.channel_at(float(t))
-            if t >= next_maintenance:
-                try:
-                    if not established:
-                        self.manager.establish(channel, time_s=float(t))
-                        established = True
-                    else:
-                        with recorder.timer("sim.maintenance_step_s"):
-                            report = self.manager.step(channel, time_s=float(t))
-                        if getattr(report, "action", "none") != "none":
-                            actions.append((float(t), report.action))
-                except Exception as error:
-                    enter_degraded(float(t), "step" if established else "establish", error)
+        def maintain(index: int, channel=None) -> None:
+            nonlocal established
+            t = float(times[index])
+            if channel is None:
+                channel = self.scenario.channel_at(t)
+            try:
+                if not established:
+                    self.manager.establish(channel, time_s=t)
+                    established = True
                 else:
-                    exit_degraded(float(t))
-                next_maintenance += self.maintenance_period_s
-            if established:
-                try:
-                    snr[i] = self.manager.link_snr_db(channel)
-                except Exception:
-                    snr[i] = -np.inf
+                    with recorder.timer("sim.maintenance_step_s"):
+                        report = self.manager.step(channel, time_s=t)
+                    if getattr(report, "action", "none") != "none":
+                        actions.append((t, report.action))
+            except Exception as error:
+                enter_degraded(
+                    t, "step" if established else "establish", error
+                )
             else:
-                snr[i] = -np.inf
-            if tracing:
-                entry = select_mcs(float(snr[i]))
-                index = None if entry is None else entry.index
-                if index != last_mcs:
-                    recorder.emit(
-                        EventKind.MCS_SWITCH,
-                        float(t),
-                        mcs=-1 if index is None else index,
-                        modulation=(
-                            "outage" if entry is None else entry.modulation
-                        ),
-                        snr_db=float(snr[i]),
+                exit_degraded(t)
+
+        def trace_mcs(start: int, end: int) -> None:
+            nonlocal last_mcs
+            indices = select_mcs_indices(snr[start:end])
+            previous = -1 if last_mcs is None else last_mcs
+            changed = np.flatnonzero(
+                np.concatenate(
+                    ([indices[0] != previous], indices[1:] != indices[:-1])
+                )
+            )
+            for offset in changed:
+                index = int(indices[offset])
+                entry = None if index < 0 else NR_MCS_TABLE[index]
+                recorder.emit(
+                    EventKind.MCS_SWITCH,
+                    float(times[start + offset]),
+                    mcs=-1 if entry is None else entry.index,
+                    modulation=(
+                        "outage" if entry is None else entry.modulation
+                    ),
+                    snr_db=float(snr[start + offset]),
+                )
+            tail = int(indices[-1])
+            last_mcs = None if tail < 0 else tail
+
+        use_fast = self.fast and hasattr(self.manager, "link_snr_db_batch")
+        if use_fast:
+            boundaries = self._maintenance_boundaries(times)
+            starts = [0] + boundaries
+            ends = boundaries + [times.shape[0]]
+            chunk_cache: dict = {}
+            for segment, (start, end) in enumerate(zip(starts, ends)):
+                if segment > 0:
+                    maintain(start)
+                if start == end:
+                    continue
+                if established:
+                    self._segment_snr(
+                        times, snr, start, end, recorder, chunk_cache
                     )
-                    last_mcs = index
+                else:
+                    snr[start:end] = -np.inf
+                if tracing:
+                    trace_mcs(start, end)
+        else:
+            tick = 1
+            for i, t in enumerate(times):
+                channel = self.scenario.channel_at(float(t))
+                if t >= tick * self.maintenance_period_s:
+                    maintain(i, channel)
+                    tick += 1
+                if established:
+                    try:
+                        snr[i] = self.manager.link_snr_db(channel)
+                    except Exception:
+                        snr[i] = -np.inf
+                else:
+                    snr[i] = -np.inf
+                if tracing:
+                    trace_mcs(i, i + 1)
 
         exit_degraded(float(self.duration_s))
         budget = getattr(self.manager, "budget", None)
@@ -199,3 +265,97 @@ class LinkSimulator:
             bandwidth_hz=self.manager.sounder.config.bandwidth_hz,
             degraded_windows=tuple(degraded),
         )
+
+    def _maintenance_boundaries(self, times: np.ndarray) -> List[int]:
+        """Sample indices at which maintenance fires, in order.
+
+        Reproduces the per-sample rule exactly: tick ``k`` fires at the
+        first not-yet-consumed sample whose time reaches ``k * period``;
+        at most one tick fires per sample.
+        """
+        boundaries: List[int] = []
+        tick = 1
+        while True:
+            threshold = tick * self.maintenance_period_s
+            index = int(np.searchsorted(times, threshold, side="left"))
+            if boundaries and index <= boundaries[-1]:
+                index = boundaries[-1] + 1
+            if index >= times.shape[0]:
+                return boundaries
+            boundaries.append(index)
+            tick += 1
+
+    def _chunk_frequencies(self):
+        """The sounder frequency grid, for chunk precomputation."""
+        sounder = getattr(self.manager, "sounder", None)
+        if sounder is None:
+            return None
+        try:
+            return sounder.config.frequency_grid()
+        except Exception:
+            return None
+
+    def _segment_snr(
+        self,
+        times: np.ndarray,
+        snr: np.ndarray,
+        start: int,
+        end: int,
+        recorder,
+        chunk_cache: dict,
+    ) -> None:
+        """Fill ``snr[start:end]`` through the manager's batched evaluator.
+
+        Channel parameters (and the weight-independent response tensors)
+        are built once per ``MAX_BATCH_SAMPLES``-aligned chunk and shared
+        across the segments inside it; segments see cheap slice views.
+        Falls back to the per-sample path for any sub-range whose batched
+        evaluation raises, preserving the naive error semantics (a
+        failing ``link_snr_db`` reads as ``-inf``; a failing
+        ``channel_at`` propagates).
+        """
+        batched_scenario = hasattr(self.scenario, "channel_batch")
+        position = start
+        while position < end:
+            chunk = position // MAX_BATCH_SAMPLES
+            chunk_lo = chunk * MAX_BATCH_SAMPLES
+            chunk_hi = min(chunk_lo + MAX_BATCH_SAMPLES, times.shape[0])
+            sub_end = min(end, chunk_hi)
+            sub_times = times[position:sub_end]
+            try:
+                if batched_scenario:
+                    if chunk not in chunk_cache:
+                        # Segments consume chunks in time order; older
+                        # chunks are never revisited, so keep only one.
+                        chunk_cache.clear()
+                        batch = self.scenario.channel_batch(
+                            times[chunk_lo:chunk_hi]
+                        )
+                        frequencies = self._chunk_frequencies()
+                        if frequencies is not None:
+                            batch.precompute(frequencies)
+                        chunk_cache[chunk] = batch
+                    channels = chunk_cache[chunk].sliced(
+                        position - chunk_lo, sub_end - chunk_lo
+                    )
+                else:
+                    channels = [
+                        self.scenario.channel_at(float(t))
+                        for t in sub_times
+                    ]
+                snr[position:sub_end] = self.manager.link_snr_db_batch(
+                    channels
+                )
+            except Exception:
+                for k, t in enumerate(sub_times):
+                    channel = self.scenario.channel_at(float(t))
+                    try:
+                        snr[position + k] = self.manager.link_snr_db(channel)
+                    except Exception:
+                        snr[position + k] = -np.inf
+            else:
+                if recorder.enabled:
+                    size = sub_end - position
+                    recorder.counter("sim.fast_samples").inc(size)
+                    recorder.gauge("sim.last_batch_samples").set(size)
+            position = sub_end

@@ -174,6 +174,46 @@ class SyntheticScenario:
         )
         return channel.with_path_scaling(factors)
 
+    def channel_batch(self, times_s) -> "ChannelBatch":
+        """Per-sample path parameters for a whole time array at once.
+
+        Mirrors :meth:`channel_at` operation-for-operation (drift add,
+        phase rotation, blockage scaling) so each row of the returned
+        batch matches the corresponding per-sample channel's parameters —
+        bitwise for angles/delays/blockage, and to the last ulp for the
+        phase-drift gain multiply (numpy's array loop may fuse the
+        complex multiply differently than the scalar path).
+        """
+        from repro.channel.batch import ChannelBatch
+
+        times = np.asarray(times_s, dtype=float)
+        if times.ndim != 1:
+            raise ValueError(f"times_s must be 1-D, got shape {times.shape}")
+        base = self.base_channel
+        offsets = np.asarray(self.angular_rates_rad_s)[None, :] * times[:, None]
+        aods = base.aods()[None, :] + offsets
+        gains = np.broadcast_to(
+            base.gains(), offsets.shape
+        )
+        if any(self.phase_drift_rad_s):
+            rotations = np.exp(
+                1j * np.asarray(self.phase_drift_rad_s)[None, :]
+                * times[:, None]
+            )
+            gains = gains * rotations
+        factors = self.blockage.amplitude_factors_batch(
+            times, base.num_paths
+        )
+        gains = gains * factors
+        delays = np.broadcast_to(base.delays(), offsets.shape)
+        return ChannelBatch(
+            tx_array=base.tx_array,
+            times_s=times,
+            aods_rad=aods,
+            gains=gains,
+            delays_s=delays,
+        )
+
 
 @dataclass(frozen=True)
 class GeometricScenario:

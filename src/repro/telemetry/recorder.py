@@ -145,6 +145,20 @@ class TelemetryRecorder:
         """Fold in events recorded elsewhere (e.g. by a pool worker)."""
         self.events.extend(events)
 
+    def absorb_metrics(self, summary) -> None:
+        """Fold a worker run's counter/gauge totals into this registry.
+
+        Pool workers record onto private recorders; their events come
+        back through :meth:`absorb` and their metric totals through a
+        :class:`~repro.telemetry.TelemetrySummary`.  Counters add,
+        gauges last-write-wins.  Histogram moments cannot be replayed
+        into live histograms and stay summary-only.
+        """
+        for name, value in summary.counters.items():
+            self.counter(name).inc(value)
+        for name, value in summary.gauges.items():
+            self.gauge(name).set(value)
+
     def counter(self, name: str):
         return self.metrics.counter(name)
 

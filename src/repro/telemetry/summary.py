@@ -136,4 +136,43 @@ class TelemetrySummary:
                 f"  {name}: n={stats['count']} mean={stats['mean']:.3g}s "
                 f"max={stats['max']:.3g}s total={stats['total']:.3g}s"
             )
+        lines.extend(self._fast_path_lines())
         return "\n".join(lines)
+
+    def _fast_path_lines(self) -> list:
+        """Lines showing whether the perf fast paths were exercised.
+
+        Covers the ``perf.cache.<name>.hits/.misses`` counters bumped by
+        :class:`repro.perf.BoundedCache` and the simulator's batched
+        sample-clock counters/gauges.
+        """
+        lines = []
+        caches = {}
+        for name, value in self.counters.items():
+            if not name.startswith("perf.cache."):
+                continue
+            cache, _, outcome = name[len("perf.cache."):].rpartition(".")
+            if outcome in ("hits", "misses"):
+                caches.setdefault(cache, {})[outcome] = value
+        for cache in sorted(caches):
+            hits = caches[cache].get("hits", 0.0)
+            misses = caches[cache].get("misses", 0.0)
+            total = hits + misses
+            rate = hits / total if total else 0.0
+            lines.append(
+                f"  cache {cache}: hits={hits:g} misses={misses:g} "
+                f"hit_rate={rate:.1%}"
+            )
+        fast = self.counters.get("sim.fast_samples")
+        total_samples = self.counters.get("sim.samples")
+        if fast is not None:
+            share = (
+                f" ({fast / total_samples:.1%} of {total_samples:g})"
+                if total_samples
+                else ""
+            )
+            lines.append(f"  batched samples: {fast:g}{share}")
+        last_batch = self.gauges.get("sim.last_batch_samples")
+        if last_batch is not None:
+            lines.append(f"  last batch size: {last_batch:g}")
+        return lines

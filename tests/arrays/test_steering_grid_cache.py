@@ -1,0 +1,95 @@
+"""Differential and cache tests for the shared steering-grid matrix."""
+
+import numpy as np
+import pytest
+
+from repro.arrays.geometry import UniformLinearArray
+from repro.arrays.patterns import array_factor, beam_pattern_db
+from repro.arrays.steering import (
+    _GRID_CACHE,
+    _GRID_CACHE_MIN_POINTS,
+    cached_steering_matrix,
+    single_beam_weights,
+    steering_grid,
+    steering_vector,
+)
+from repro.perf.cache import clear_caches
+
+ARRAY = UniformLinearArray(num_elements=16, spacing_wavelengths=0.5)
+
+
+@pytest.fixture(autouse=True)
+def fresh_grid_cache():
+    clear_caches("steering.grid")
+    yield
+    clear_caches("steering.grid")
+
+
+class TestCachedSteeringMatrix:
+    def test_matches_plain_steering_vector_bitwise(self):
+        grid = np.linspace(-np.pi / 2, np.pi / 2, 181)
+        cached = cached_steering_matrix(ARRAY, grid)
+        np.testing.assert_array_equal(cached, steering_vector(ARRAY, grid))
+
+    def test_second_call_returns_same_frozen_object(self):
+        grid = np.linspace(-1.0, 1.0, 64)
+        first = cached_steering_matrix(ARRAY, grid)
+        second = cached_steering_matrix(ARRAY, grid.copy())  # content-keyed
+        assert first is second
+        assert not first.flags.writeable
+
+    def test_small_grids_bypass_the_cache(self):
+        tiny = np.linspace(-0.1, 0.1, _GRID_CACHE_MIN_POINTS - 1)
+        before = len(_GRID_CACHE)
+        result = cached_steering_matrix(ARRAY, tiny)
+        assert len(_GRID_CACHE) == before
+        assert result.flags.writeable  # plain build, not a shared entry
+        np.testing.assert_array_equal(result, steering_vector(ARRAY, tiny))
+
+    def test_distinct_arrays_get_distinct_entries(self):
+        grid = np.linspace(-1.0, 1.0, 32)
+        other = UniformLinearArray(num_elements=8, spacing_wavelengths=0.5)
+        a = cached_steering_matrix(ARRAY, grid)
+        b = cached_steering_matrix(other, grid)
+        assert a.shape == (32, 16) and b.shape == (32, 8)
+
+    def test_steering_grid_delegates(self):
+        via_spec = steering_grid(ARRAY, -1.0, 1.0, 64)
+        via_contents = cached_steering_matrix(
+            ARRAY, np.linspace(-1.0, 1.0, 64)
+        )
+        assert via_spec is via_contents
+
+
+class TestArrayFactorUsesCache:
+    def test_sweep_hits_after_first_weight_vector(self):
+        grid = np.linspace(-np.pi / 2, np.pi / 2, 361)
+        hits_before = _GRID_CACHE.hits
+        for angle in (0.0, 0.2, -0.3):
+            array_factor(ARRAY, single_beam_weights(ARRAY, angle), grid)
+        assert _GRID_CACHE.hits == hits_before + 2  # misses once, hits twice
+
+    def test_values_unchanged_by_caching(self):
+        grid = np.linspace(-np.pi / 2, np.pi / 2, 181)
+        weights = single_beam_weights(ARRAY, 0.25)
+        expected = steering_vector(ARRAY, grid) @ weights
+        np.testing.assert_array_equal(
+            array_factor(ARRAY, weights, grid), expected
+        )
+        with np.errstate(divide="ignore"):
+            expected_db = np.maximum(
+                10.0 * np.log10(np.abs(expected) ** 2), -80.0
+            )
+        np.testing.assert_array_equal(
+            beam_pattern_db(ARRAY, weights, grid), expected_db
+        )
+
+    def test_scalar_and_2d_angles_still_work(self):
+        weights = single_beam_weights(ARRAY, 0.1)
+        scalar = array_factor(ARRAY, weights, 0.1)
+        assert np.ndim(scalar) == 0
+        grid_2d = np.linspace(-0.5, 0.5, 30).reshape(5, 6)
+        np.testing.assert_array_equal(
+            array_factor(ARRAY, weights, grid_2d),
+            steering_vector(ARRAY, grid_2d) @ weights,
+        )

@@ -1,0 +1,129 @@
+"""Differential tests: stacked super-resolution search vs the naive path.
+
+The stacked fitter assembles every candidate dictionary into one tensor
+and solves all ridge systems with a single batched ``np.linalg.solve``.
+It must enumerate identical candidates in identical order, pick the same
+anchor under the same tie-breaking, and agree numerically to the
+documented 1e-9 tolerance.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.wideband import (
+    dirichlet_dictionary,
+    sampled_cir,
+    sinc_dictionary,
+    stacked_dirichlet_dictionaries,
+    stacked_sinc_dictionaries,
+)
+from repro.core.superres import SuperResolver, estimate_pulse_tof
+from repro.perf import clear_caches
+
+BANDWIDTH = 400e6
+
+
+def make_resolver(fast: bool, **overrides) -> SuperResolver:
+    kwargs = dict(
+        bandwidth_hz=BANDWIDTH,
+        relative_delays_s=np.array([0.0, 1.2e-9]),
+        regularization=1e-4,
+        fast=fast,
+    )
+    kwargs.update(overrides)
+    return SuperResolver(**kwargs)
+
+
+def noisy_cir(seed: int, alphas, relative=(0.0, 1.2e-9), base=25e-9):
+    rng = np.random.default_rng(seed)
+    delays = [base + r for r in relative]
+    cir = sampled_cir(alphas, delays, BANDWIDTH, 64)
+    noise = 1e-3 * (
+        rng.standard_normal(cir.size) + 1j * rng.standard_normal(cir.size)
+    )
+    return cir + noise
+
+
+class TestStackedDictionaries:
+    def test_dirichlet_matches_per_delay_builds(self):
+        delay_sets = np.array([[25e-9, 26.2e-9], [24.5e-9, 25.7e-9]])
+        stacked = stacked_dirichlet_dictionaries(delay_sets, BANDWIDTH, 64)
+        for c, delays in enumerate(delay_sets):
+            naive = dirichlet_dictionary(delays, BANDWIDTH, 64, fast=False)
+            np.testing.assert_allclose(stacked[c], naive, rtol=1e-12)
+
+    def test_sinc_matches_per_delay_builds(self):
+        delay_sets = np.array([[25e-9, 26.2e-9], [24.5e-9, 25.7e-9]])
+        stacked = stacked_sinc_dictionaries(delay_sets, BANDWIDTH, 64)
+        for c, delays in enumerate(delay_sets):
+            naive = sinc_dictionary(delays, BANDWIDTH, 64)
+            np.testing.assert_array_equal(stacked[c], naive)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            stacked_dirichlet_dictionaries(
+                np.array([25e-9, 26e-9]), BANDWIDTH, 64
+            )
+
+    def test_dictionary_cache_reuses_fast_builds(self):
+        from repro.channel.wideband import _DICTIONARY_CACHE
+
+        clear_caches("wideband.dictionary")
+        delays = [25e-9, 26.2e-9]
+        first = dirichlet_dictionary(delays, BANDWIDTH, 64)
+        hits_before = _DICTIONARY_CACHE.hits
+        second = dirichlet_dictionary(delays, BANDWIDTH, 64)
+        assert second is first
+        assert _DICTIONARY_CACHE.hits == hits_before + 1
+
+
+class TestResolverFastMatchesNaive:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("kernel", ["dirichlet", "sinc"])
+    def test_single_estimate(self, seed, kernel):
+        cir = noisy_cir(seed, [1.0 + 0j, 0.4 * np.exp(0.7j)])
+        fast = make_resolver(True, kernel=kernel).estimate(cir)
+        naive = make_resolver(False, kernel=kernel).estimate(cir)
+        np.testing.assert_allclose(fast.alphas, naive.alphas, rtol=1e-9)
+        np.testing.assert_array_equal(fast.delays_s, naive.delays_s)
+        assert fast.residual == pytest.approx(naive.residual, rel=1e-9)
+
+    def test_tracked_sequence_keeps_same_anchor(self):
+        fast = make_resolver(True, initial_base_s=25e-9)
+        naive = make_resolver(False, initial_base_s=25e-9)
+        for seed in range(5):
+            cir = noisy_cir(seed, [1.0 + 0j, 0.4 * np.exp(0.7j)])
+            ours = fast.estimate(cir)
+            theirs = naive.estimate(cir)
+            np.testing.assert_allclose(ours.alphas, theirs.alphas, rtol=1e-9)
+            assert fast._last_base_s == pytest.approx(
+                naive._last_base_s, rel=0, abs=1e-15
+            )
+
+    def test_active_subset_matches(self):
+        cir = noisy_cir(9, [1.0 + 0j, 0.0j])
+        fast = make_resolver(True).estimate(cir, active_indices=[0])
+        naive = make_resolver(False).estimate(cir, active_indices=[0])
+        np.testing.assert_allclose(fast.alphas, naive.alphas, rtol=1e-9)
+        assert fast.alphas[1] == 0 and naive.alphas[1] == 0
+
+
+class TestEstimatePulseTof:
+    @pytest.mark.parametrize("kernel", ["dirichlet", "sinc"])
+    def test_fast_matches_naive(self, kernel):
+        cir = sampled_cir([1.0 + 0.2j], [25.4e-9], BANDWIDTH, 64)
+        fast = estimate_pulse_tof(
+            cir, BANDWIDTH, kernel=kernel, fast=True
+        )
+        naive = estimate_pulse_tof(
+            cir, BANDWIDTH, kernel=kernel, fast=False
+        )
+        assert fast == naive
+
+    def test_keeps_first_of_tied_maxima(self):
+        # A symmetric on-grid pulse scores its true delay best on both
+        # paths; equality here pins the shared argmax/first-tie rule.
+        cir = sampled_cir([1.0], [10 / BANDWIDTH], BANDWIDTH, 64)
+        fast = estimate_pulse_tof(cir, BANDWIDTH, fast=True)
+        naive = estimate_pulse_tof(cir, BANDWIDTH, fast=False)
+        assert fast == naive == pytest.approx(10 / BANDWIDTH, abs=1e-12)

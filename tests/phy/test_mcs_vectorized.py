@@ -1,0 +1,63 @@
+"""Differential tests: vectorized MCS selection vs the scalar ladder."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.phy.mcs import (
+    NR_MCS_TABLE,
+    OUTAGE_SNR_DB,
+    select_mcs,
+    select_mcs_indices,
+)
+
+
+def scalar_index(snr_db: float) -> int:
+    entry = select_mcs(snr_db)
+    return -1 if entry is None else entry.index
+
+
+class TestSelectMcsIndices:
+    def test_matches_scalar_on_dense_sweep(self):
+        snrs = np.linspace(-20.0, 40.0, 2401)
+        indices = select_mcs_indices(snrs)
+        expected = np.array([scalar_index(float(s)) for s in snrs])
+        np.testing.assert_array_equal(indices, expected)
+
+    def test_exact_thresholds_inclusive(self):
+        thresholds = np.array([e.min_snr_db for e in NR_MCS_TABLE])
+        indices = select_mcs_indices(thresholds)
+        np.testing.assert_array_equal(
+            indices, [e.index for e in NR_MCS_TABLE]
+        )
+
+    def test_outage_below_first_threshold(self):
+        assert select_mcs_indices(np.array([OUTAGE_SNR_DB - 1e-9]))[0] == -1
+        assert select_mcs_indices(np.array([-np.inf]))[0] == -1
+
+    def test_nan_maps_to_outage(self):
+        indices = select_mcs_indices(np.array([np.nan, 10.0]))
+        assert indices[0] == -1 and indices[1] == scalar_index(10.0)
+
+    def test_inf_maps_to_top_entry(self):
+        assert select_mcs_indices(np.array([np.inf]))[0] == (
+            NR_MCS_TABLE[-1].index
+        )
+
+    def test_scalar_input(self):
+        assert select_mcs_indices(12.0) == scalar_index(12.0)
+
+    @given(
+        st.lists(
+            st.floats(
+                min_value=-50.0, max_value=50.0, allow_nan=False
+            ),
+            min_size=1,
+            max_size=32,
+        )
+    )
+    def test_property_matches_scalar(self, snrs):
+        indices = select_mcs_indices(np.array(snrs))
+        expected = [scalar_index(s) for s in snrs]
+        np.testing.assert_array_equal(indices, expected)

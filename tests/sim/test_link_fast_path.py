@@ -1,0 +1,234 @@
+"""Differential tests: the simulator's batched fast path vs the naive path.
+
+The contract (DESIGN.md, "Performance architecture"): with ``fast=True``
+the simulator must reproduce the per-sample reference run exactly up to
+the documented BLAS-contraction tolerance — same maintenance instants,
+same actions, same telemetry event stream, same SNR trace to 1e-9.
+"""
+
+import numpy as np
+import pytest
+
+from repro.channel.blockage import random_blockage_schedule
+from repro.experiments.common import TESTBED_ULA, make_manager
+from repro.sim.link import LinkSimulator
+from repro.sim.scenarios import indoor_two_path_scenario
+from repro.telemetry import TelemetryRecorder, use_recorder
+
+SYSTEMS = ("mmreliable", "reactive", "beamspy", "widebeam", "oracle")
+
+
+def make_scenario(seed: int):
+    schedule = random_blockage_schedule(
+        num_paths=2,
+        num_events=2,
+        depth_db=30.0,
+        rng=9000 + seed,
+        block_strongest_only=True,
+    )
+    return indoor_two_path_scenario(
+        TESTBED_ULA,
+        translation_speed_mps=1.5,
+        blockage=schedule,
+        delta_db=-4.0,
+        distance_m=25.0,
+    )
+
+
+def run_once(system: str, seed: int, fast: bool, duration_s: float = 0.2):
+    simulator = LinkSimulator(
+        scenario=make_scenario(seed),
+        manager=make_manager(system, seed=seed),
+        duration_s=duration_s,
+        fast=fast,
+    )
+    return simulator.run()
+
+
+class TestFastMatchesNaive:
+    @pytest.mark.parametrize("system", SYSTEMS)
+    def test_trace_equivalence(self, system):
+        fast = run_once(system, seed=3, fast=True)
+        naive = run_once(system, seed=3, fast=False)
+        np.testing.assert_array_equal(fast.times_s, naive.times_s)
+        # -inf (outage / degraded) samples must agree exactly.
+        np.testing.assert_array_equal(
+            np.isneginf(fast.snr_db), np.isneginf(naive.snr_db)
+        )
+        finite = np.isfinite(naive.snr_db)
+        np.testing.assert_allclose(
+            fast.snr_db[finite], naive.snr_db[finite], rtol=1e-9
+        )
+        assert fast.actions == naive.actions
+        assert fast.training_windows == naive.training_windows
+        assert fast.training_rounds == naive.training_rounds
+        assert fast.probe_airtime_s == naive.probe_airtime_s
+        assert fast.degraded_windows == naive.degraded_windows
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_seed_sweep_mmreliable(self, seed):
+        fast = run_once("mmreliable", seed=seed, fast=True)
+        naive = run_once("mmreliable", seed=seed, fast=False)
+        np.testing.assert_allclose(
+            np.nan_to_num(fast.snr_db, neginf=-1e9),
+            np.nan_to_num(naive.snr_db, neginf=-1e9),
+            rtol=1e-9,
+            atol=1e-9,
+        )
+        assert fast.actions == naive.actions
+
+    def test_telemetry_event_stream_identical(self):
+        def traced(fast: bool):
+            with use_recorder(TelemetryRecorder()) as recorder:
+                run_once("mmreliable", seed=5, fast=fast)
+                return list(recorder.events)
+
+        fast_events = traced(True)
+        naive_events = traced(False)
+        assert len(fast_events) == len(naive_events)
+        for ours, theirs in zip(fast_events, naive_events):
+            assert ours.kind == theirs.kind
+            assert ours.time_s == theirs.time_s
+            for key, value in theirs.fields.items():
+                if isinstance(value, float):
+                    # dB/gain fields pass through the batched contractions,
+                    # which match the naive path to the last ulp only.
+                    assert ours.fields[key] == pytest.approx(
+                        value, rel=1e-9, abs=1e-9
+                    )
+                else:
+                    assert ours.fields[key] == value
+
+    def test_fast_flag_defaults_on_and_counts_samples(self):
+        simulator = LinkSimulator(
+            scenario=make_scenario(0),
+            manager=make_manager("mmreliable", seed=0),
+            duration_s=0.1,
+        )
+        assert simulator.fast is True
+        with use_recorder(TelemetryRecorder()) as recorder:
+            trace = simulator.run()
+            counters = recorder.metrics.snapshot()["counters"]
+            gauges = recorder.metrics.snapshot()["gauges"]
+        assert counters["sim.fast_samples"] == len(trace.times_s)
+        assert counters["sim.samples"] == len(trace.times_s)
+        assert gauges["sim.last_batch_samples"] >= 1
+
+    def test_scenario_without_channel_batch_still_fast(self):
+        scenario = make_scenario(2)
+
+        class ShimScenario:
+            """Only the plain channel_at protocol (compatibility shim)."""
+
+            def channel_at(self, time_s):
+                return scenario.channel_at(time_s)
+
+        fast = LinkSimulator(
+            scenario=ShimScenario(),
+            manager=make_manager("oracle", seed=2),
+            duration_s=0.1,
+            fast=True,
+        ).run()
+        naive = LinkSimulator(
+            scenario=scenario,
+            manager=make_manager("oracle", seed=2),
+            duration_s=0.1,
+            fast=False,
+        ).run()
+        np.testing.assert_allclose(fast.snr_db, naive.snr_db, rtol=1e-9)
+
+
+class TestMaintenanceClock:
+    def test_boundaries_match_naive_rule(self):
+        simulator = LinkSimulator(
+            scenario=make_scenario(0),
+            manager=make_manager("oracle", seed=0),
+            duration_s=1.0,
+            sample_period_s=1e-3,
+            maintenance_period_s=5e-3,
+        )
+        times = np.arange(0.0, 1.0, 1e-3)
+        boundaries = simulator._maintenance_boundaries(times)
+
+        expected = []
+        tick = 1
+        for i, t in enumerate(times):
+            if t >= tick * 5e-3:
+                expected.append(i)
+                tick += 1
+        assert boundaries == expected
+
+    def test_no_float_accumulation_drift(self):
+        # With the legacy next += period accumulation, 10k periods of
+        # 1e-3 drift off the sample grid; the integer-tick rule cannot.
+        simulator = LinkSimulator(
+            scenario=make_scenario(0),
+            manager=make_manager("oracle", seed=0),
+            duration_s=10.0,
+            sample_period_s=1e-3,
+            maintenance_period_s=1e-3,
+        )
+        times = np.arange(0.0, 10.0, 1e-3)
+        boundaries = simulator._maintenance_boundaries(times)
+        # Every sample after t=0 is a maintenance opportunity.
+        assert boundaries == list(range(1, times.shape[0]))
+
+    def test_commensurate_periods_fire_once_per_period(self):
+        simulator = LinkSimulator(
+            scenario=make_scenario(0),
+            manager=make_manager("oracle", seed=0),
+            duration_s=0.5,
+            sample_period_s=1e-3,
+            maintenance_period_s=7e-3,
+        )
+        times = np.arange(0.0, 0.5, 1e-3)
+        boundaries = simulator._maintenance_boundaries(times)
+        assert len(boundaries) == len(set(boundaries))
+        deltas = np.diff(times[boundaries])
+        assert np.all(deltas >= 6e-3)
+
+
+class TestBatchedManagerSnr:
+    @pytest.mark.parametrize("system", SYSTEMS)
+    def test_link_snr_db_batch_matches_loop(self, system):
+        scenario = make_scenario(1)
+        manager = make_manager(system, seed=1)
+        manager.establish(scenario.channel_at(0.0), time_s=0.0)
+        times = np.arange(0.0, 0.05, 1e-3)
+        channels = [scenario.channel_at(float(t)) for t in times]
+        batched = manager.link_snr_db_batch(channels)
+        looped = np.array([manager.link_snr_db(c) for c in channels])
+        np.testing.assert_allclose(batched, looped, rtol=1e-9)
+
+    def test_link_snr_db_batch_accepts_channel_batch(self):
+        scenario = make_scenario(1)
+        manager = make_manager("mmreliable", seed=1)
+        manager.establish(scenario.channel_at(0.0), time_s=0.0)
+        times = np.arange(0.0, 0.05, 1e-3)
+        batch = scenario.channel_batch(times)
+        batched = manager.link_snr_db_batch(batch)
+        looped = np.array(
+            [
+                manager.link_snr_db(scenario.channel_at(float(t)))
+                for t in times
+            ]
+        )
+        np.testing.assert_allclose(batched, looped, rtol=1e-9)
+
+
+class TestEnsembleWorkers:
+    def test_worker_counts_agree(self):
+        from repro.experiments.fig18_end2end import run_mobile_ensembles
+
+        serial = run_mobile_ensembles(
+            seeds=range(2), duration_s=0.1, workers=1
+        )
+        parallel = run_mobile_ensembles(
+            seeds=range(2), duration_s=0.1, workers=2
+        )
+        for system in serial:
+            ours = serial[system]
+            theirs = parallel[system]
+            assert ours.mean_spectral_efficiency() == pytest.approx(
+                theirs.mean_spectral_efficiency(), rel=1e-12
+            )

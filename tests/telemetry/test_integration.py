@@ -172,9 +172,20 @@ class TestCli:
         ):
             assert kinds[kind] > 0, kind
 
+        # Worker metric totals fold back into the trace as one synthetic
+        # event, so `repro trace` shows the fast paths were exercised.
+        assert kinds["perf_counters"] == 1
+        perf_fields = events.filter(kind="perf_counters")[0].fields
+        assert perf_fields["sim.fast_samples"] == perf_fields["sim.samples"]
+        assert any(
+            key.startswith("perf.cache.") and key.endswith(".hits")
+            for key in perf_fields
+        )
+
         rendered = io.StringIO()
         assert command_trace(str(trace_path), out=rendered) == 0
         assert "== run" in rendered.getvalue()
+        assert "perf_counters" in rendered.getvalue()
 
         filtered = io.StringIO()
         assert command_trace(

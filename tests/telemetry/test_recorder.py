@@ -91,6 +91,22 @@ class TestTelemetryRecorder:
         assert len(recorder.events) == 2
         assert recorder.events[1].run == "w/seed0:X#0"
 
+    def test_absorb_metrics_sums_counters_and_sets_gauges(self):
+        def worker_summary(hits, batch):
+            worker = TelemetryRecorder()
+            worker.counter("perf.cache.steering.single_beam.hits").inc(hits)
+            worker.gauge("sim.last_batch_samples").set(batch)
+            return worker.summary()
+
+        recorder = TelemetryRecorder()
+        recorder.absorb_metrics(worker_summary(hits=5, batch=10))
+        recorder.absorb_metrics(worker_summary(hits=3, batch=40))
+        snapshot = recorder.metrics.snapshot()
+        assert (
+            snapshot["counters"]["perf.cache.steering.single_beam.hits"] == 8
+        )
+        assert snapshot["gauges"]["sim.last_batch_samples"] == 40
+
     def test_mark_and_since_summary(self):
         recorder = TelemetryRecorder()
         recorder.emit("probe_tx", 0.0)

@@ -76,3 +76,25 @@ class TestDescribe:
         ranked = summary.top_kinds(limit=2)
         assert len(ranked) == 2
         assert ranked[0][1] >= ranked[1][1]
+
+    def test_fast_path_lines(self):
+        recorder = TelemetryRecorder()
+        recorder.begin_run("X", time_s=0.0)
+        recorder.counter("perf.cache.multibeam.weights.hits").inc(30)
+        recorder.counter("perf.cache.multibeam.weights.misses").inc(10)
+        recorder.counter("sim.samples").inc(200)
+        recorder.counter("sim.fast_samples").inc(200)
+        recorder.gauge("sim.last_batch_samples").set(50)
+        recorder.end_run(1.0)
+        text = recorder.summary().describe()
+        assert (
+            "cache multibeam.weights: hits=30 misses=10 hit_rate=75.0%"
+            in text
+        )
+        assert "batched samples: 200 (100.0% of 200)" in text
+        assert "last batch size: 50" in text
+
+    def test_no_fast_path_lines_without_counters(self):
+        text = _summary().describe()
+        assert "cache " not in text
+        assert "batched samples" not in text

@@ -1,0 +1,109 @@
+"""Tests for the perf-regression comparison tool (scripts/bench_compare.py)."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "bench_compare.py"
+spec = importlib.util.spec_from_file_location("bench_compare", SCRIPT)
+bench_compare = importlib.util.module_from_spec(spec)
+sys.modules["bench_compare"] = bench_compare
+spec.loader.exec_module(bench_compare)
+
+
+def write_run(path: Path, means: dict) -> Path:
+    payload = {
+        "benchmarks": [
+            {"name": name, "stats": {"mean": mean}}
+            for name, mean in means.items()
+        ]
+    }
+    path.write_text(json.dumps(payload))
+    return path
+
+
+@pytest.fixture
+def baseline(tmp_path):
+    return write_run(
+        tmp_path / "baseline.json", {"bench_a": 1.0, "bench_b": 0.010}
+    )
+
+
+def run_main(new, baseline, *extra):
+    return bench_compare.main(
+        [str(new), "--baseline", str(baseline), *extra]
+    )
+
+
+class TestBenchCompare:
+    def test_ok_when_within_thresholds(self, tmp_path, baseline, capsys):
+        new = write_run(
+            tmp_path / "new.json", {"bench_a": 1.02, "bench_b": 0.009}
+        )
+        assert run_main(new, baseline) == 0
+        out = capsys.readouterr().out
+        assert "0 fail, 0 warn" in out
+
+    def test_fails_past_20_percent(self, tmp_path, baseline, capsys):
+        new = write_run(
+            tmp_path / "new.json", {"bench_a": 1.25, "bench_b": 0.010}
+        )
+        assert run_main(new, baseline) == 1
+        assert "FAIL  bench_a" in capsys.readouterr().out
+
+    def test_warns_between_thresholds(self, tmp_path, baseline, capsys):
+        new = write_run(
+            tmp_path / "new.json", {"bench_a": 1.10, "bench_b": 0.010}
+        )
+        assert run_main(new, baseline) == 0
+        assert "WARN  bench_a" in capsys.readouterr().out
+
+    def test_custom_fail_threshold(self, tmp_path, baseline):
+        new = write_run(
+            tmp_path / "new.json", {"bench_a": 1.30, "bench_b": 0.010}
+        )
+        assert run_main(new, baseline, "--fail-above", "0.5") == 0
+
+    def test_one_sided_benchmarks_never_fail(self, tmp_path, baseline, capsys):
+        new = write_run(
+            tmp_path / "new.json", {"bench_a": 1.0, "bench_new": 5.0}
+        )
+        assert run_main(new, baseline) == 0
+        out = capsys.readouterr().out
+        assert "not in this run" in out
+        assert "new benchmark without baseline: bench_new" in out
+
+    def test_no_overlap_is_an_error(self, tmp_path, baseline):
+        new = write_run(tmp_path / "new.json", {"other": 1.0})
+        assert run_main(new, baseline) == 2
+
+    def test_malformed_json_exits_2(self, tmp_path, baseline):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(SystemExit) as excinfo:
+            run_main(bad, baseline)
+        assert excinfo.value.code == 2
+
+    def test_missing_benchmarks_list_exits_2(self, tmp_path, baseline):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"machine_info": {}}))
+        with pytest.raises(SystemExit) as excinfo:
+            run_main(bad, baseline)
+        assert excinfo.value.code == 2
+
+    def test_thresholds_must_be_ordered(self, tmp_path, baseline):
+        new = write_run(tmp_path / "new.json", {"bench_a": 1.0})
+        with pytest.raises(SystemExit):
+            run_main(
+                new, baseline, "--fail-above", "0.05", "--warn-above", "0.2"
+            )
+
+    def test_committed_baseline_is_default_and_valid(self):
+        means = bench_compare.load_means(
+            SCRIPT.parent.parent / "BENCH_baseline.json"
+        )
+        assert "test_fig18bc_mobile_reliability_and_product" in means
+        assert all(mean > 0 for mean in means.values())
