@@ -18,6 +18,12 @@ from repro.arrays.steering import single_beam_weights
 from repro.arrays.weights import BeamWeights
 from repro.perf.cache import BoundedCache
 
+__all__ = [
+    "Codebook",
+    "uniform_codebook",
+    "angles_to_codebook",
+]
+
 #: Uniform training codebooks keyed on (array, num_beams, field of view).
 #: Reactive baselines rebuild the same scan codebook on every retrain.
 _CODEBOOK_CACHE = BoundedCache("arrays.codebook", maxsize=64)

@@ -22,6 +22,11 @@ import numpy as np
 
 from repro.arrays.geometry import UniformLinearArray
 
+__all__ = [
+    "SubArray",
+    "DelayPhasedArray",
+]
+
 
 @dataclass(frozen=True)
 class SubArray:

@@ -16,6 +16,13 @@ import numpy as np
 from repro.utils import wavelength as carrier_wavelength
 from repro.utils.validation import check_positive
 
+__all__ = [
+    "DEFAULT_CARRIER_HZ",
+    "UniformLinearArray",
+    "UniformPlanarArray",
+    "TESTBED_ARRAY",
+]
+
 #: Carrier frequency of the paper's testbed [Hz].
 DEFAULT_CARRIER_HZ = 28e9
 

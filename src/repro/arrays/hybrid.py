@@ -22,6 +22,12 @@ import numpy as np
 from repro.arrays.geometry import UniformLinearArray
 from repro.channel.geometric import GeometricChannel
 
+__all__ = [
+    "HybridBeamformer",
+    "multiuser_multibeam",
+    "multiuser_single_beam",
+]
+
 
 @dataclass(frozen=True)
 class HybridBeamformer:

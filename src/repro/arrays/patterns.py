@@ -20,6 +20,16 @@ from scipy.optimize import brentq
 from repro.arrays.geometry import UniformLinearArray
 from repro.arrays.steering import cached_steering_matrix, steering_vector
 
+__all__ = [
+    "array_factor",
+    "beam_pattern_db",
+    "ula_power_pattern",
+    "ula_power_pattern_db",
+    "first_null_offset",
+    "half_power_beamwidth",
+    "invert_pattern_offset",
+]
+
 
 def array_factor(
     array: UniformLinearArray, weights: np.ndarray, angles_rad: np.ndarray

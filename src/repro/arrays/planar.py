@@ -25,6 +25,14 @@ import numpy as np
 
 from repro.arrays.geometry import UniformPlanarArray
 
+__all__ = [
+    "planar_steering_vector",
+    "planar_single_beam_weights",
+    "planar_beamforming_gain",
+    "planar_constructive_multibeam",
+    "elevation_cut_pattern_db",
+]
+
 
 def planar_steering_vector(
     array: UniformPlanarArray,

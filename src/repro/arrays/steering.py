@@ -23,6 +23,14 @@ import numpy as np
 from repro.arrays.geometry import UniformLinearArray
 from repro.perf.cache import BoundedCache, array_key
 
+__all__ = [
+    "steering_vector",
+    "cached_steering_matrix",
+    "steering_grid",
+    "single_beam_weights",
+    "beamforming_gain",
+]
+
 #: Single-beam weight vectors keyed on (array geometry, steer angle).
 #: The maintenance loop re-derives the same handful of beams every round.
 _WEIGHTS_CACHE = BoundedCache("steering.single_beam", maxsize=1024)

@@ -20,6 +20,13 @@ import numpy as np
 
 from repro.utils import unit_vector
 
+__all__ = [
+    "BeamWeights",
+    "WeightQuantizer",
+    "TESTBED_QUANTIZER",
+    "COMMODITY_QUANTIZER",
+]
+
 
 @dataclass(frozen=True)
 class BeamWeights:

@@ -7,6 +7,8 @@ from typing import List, Tuple
 
 import numpy as np
 
+from repro.utils import power_db_to_linear
+
 
 @dataclass(frozen=True)
 class BeamTrainingResult:
@@ -104,7 +106,9 @@ def top_k_directions(
         raise ValueError(f"k must be >= 1, got {k!r}")
     angles = result.angles_rad.copy()
     powers = result.powers.copy()
-    floor = result.best_power * 10.0 ** (-min_relative_power_db / 10.0)
+    floor = result.best_power * float(
+        power_db_to_linear(-min_relative_power_db)
+    )
     chosen_angles: List[float] = []
     chosen_powers: List[float] = []
     available = np.ones(angles.size, dtype=bool)

@@ -32,6 +32,11 @@ from repro.arrays.geometry import UniformLinearArray
 from repro.arrays.steering import steering_vector
 from repro.channel.geometric import GeometricChannel
 
+__all__ = [
+    "ChannelBatch",
+    "batch_from_channels",
+]
+
 
 @dataclass(frozen=True)
 class ChannelBatch:
@@ -92,9 +97,9 @@ class ChannelBatch:
             delays_s=self.delays_s[start:stop],
         )
         if getattr(self, "_freqs", None) is not None:
-            object.__setattr__(batch, "_freqs", self._freqs)
-            object.__setattr__(batch, "_steering", self._steering[start:stop])
-            object.__setattr__(batch, "_rotation", self._rotation[start:stop])
+            object.__setattr__(batch, "_freqs", self._freqs)  # repro-lint: disable=RL302 (precompute/slice cache)
+            object.__setattr__(batch, "_steering", self._steering[start:stop])  # repro-lint: disable=RL302 (precompute/slice cache)
+            object.__setattr__(batch, "_rotation", self._rotation[start:stop])  # repro-lint: disable=RL302 (precompute/slice cache)
         return batch
 
     def precompute(self, baseband_frequencies_hz) -> "ChannelBatch":
@@ -108,10 +113,10 @@ class ChannelBatch:
         :meth:`sliced` segment.  Returns ``self`` for chaining.
         """
         freqs = np.atleast_1d(np.asarray(baseband_frequencies_hz, dtype=float))
-        object.__setattr__(
+        object.__setattr__(  # repro-lint: disable=RL302 (precompute/slice cache)
             self, "_steering", steering_vector(self.tx_array, self.aods_rad)
         )
-        object.__setattr__(
+        object.__setattr__(  # repro-lint: disable=RL302 (precompute/slice cache)
             self,
             "_rotation",
             np.exp(
@@ -119,7 +124,7 @@ class ChannelBatch:
                 * self.delays_s[:, None, :]
             ),
         )
-        object.__setattr__(self, "_freqs", freqs)
+        object.__setattr__(self, "_freqs", freqs)  # repro-lint: disable=RL302 (precompute/slice cache)
         return self
 
     def frequency_response(

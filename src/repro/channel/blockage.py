@@ -25,6 +25,16 @@ import numpy as np
 
 from repro.utils import ensure_rng
 
+__all__ = [
+    "DEFAULT_DEPTH_DB",
+    "DEFAULT_RAMP_S",
+    "BlockageEvent",
+    "BlockageSchedule",
+    "EMPTY_SCHEDULE",
+    "HumanBlocker",
+    "random_blockage_schedule",
+]
+
 #: Default blockage depth [dB]: a human body occluding a 28 GHz path.
 DEFAULT_DEPTH_DB = 26.0
 

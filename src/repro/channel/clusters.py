@@ -24,6 +24,14 @@ from repro.channel.paths import Path
 from repro.channel.pathloss import friis_path_loss_db
 from repro.utils import SPEED_OF_LIGHT, ensure_rng
 
+__all__ = [
+    "ClusterProfile",
+    "INDOOR_CLUSTERS",
+    "OUTDOOR_CLUSTERS",
+    "generate_clustered_channel",
+    "cluster_relative_attenuation_db",
+]
+
 
 @dataclass(frozen=True)
 class ClusterProfile:

@@ -27,6 +27,14 @@ from repro.channel.pathloss import (
 )
 from repro.utils import SPEED_OF_LIGHT, ensure_rng, wrap_angle
 
+__all__ = [
+    "Reflector",
+    "Environment",
+    "trace_paths",
+    "random_indoor_environment",
+    "random_outdoor_environment",
+]
+
 
 @dataclass(frozen=True)
 class Reflector:

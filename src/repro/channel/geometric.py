@@ -24,6 +24,10 @@ from repro.arrays.geometry import UniformLinearArray
 from repro.arrays.steering import steering_vector
 from repro.channel.paths import Path, sort_by_power
 
+__all__ = [
+    "GeometricChannel",
+]
+
 
 @dataclass(frozen=True)
 class GeometricChannel:
@@ -124,7 +128,7 @@ class GeometricChannel:
         if cached is None:
             cached = steering_vector(self.tx_array, self.aods())  # (L, N)
             cached.setflags(write=False)
-            object.__setattr__(self, "_steering_cache", cached)
+            object.__setattr__(self, "_steering_cache", cached)  # repro-lint: disable=RL302 (lazy read-only cache)
         return cached
 
     def _gain_vector(self) -> np.ndarray:
@@ -132,7 +136,7 @@ class GeometricChannel:
         if cached is None:
             cached = self.gains()
             cached.setflags(write=False)
-            object.__setattr__(self, "_gains_cache", cached)
+            object.__setattr__(self, "_gains_cache", cached)  # repro-lint: disable=RL302 (lazy read-only cache)
         return cached
 
     def _delay_rotation(self, freqs: np.ndarray) -> np.ndarray:
@@ -143,7 +147,7 @@ class GeometricChannel:
                 return value
         value = np.exp(-2j * np.pi * np.outer(freqs, self.delays()))  # (F, L)
         value.setflags(write=False)
-        object.__setattr__(self, "_rotation_cache", (freqs, value))
+        object.__setattr__(self, "_rotation_cache", (freqs, value))  # repro-lint: disable=RL302 (lazy read-only cache)
         return value
 
     def narrowband_vector(self) -> np.ndarray:

@@ -16,6 +16,14 @@ import numpy as np
 
 from repro.utils import ensure_rng
 
+__all__ = [
+    "THERMAL_NOISE_DBM_PER_HZ",
+    "thermal_noise_dbm",
+    "awgn_noise_power_watt",
+    "CfoSfoModel",
+    "complex_awgn",
+]
+
 #: Thermal noise power spectral density at 290 K [dBm/Hz].
 THERMAL_NOISE_DBM_PER_HZ = -174.0
 

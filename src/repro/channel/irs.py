@@ -22,6 +22,11 @@ from repro.channel.paths import Path
 from repro.channel.pathloss import friis_path_loss_db
 from repro.utils import SPEED_OF_LIGHT, wrap_angle
 
+__all__ = [
+    "IntelligentSurface",
+    "add_irs_path",
+]
+
 
 @dataclass(frozen=True)
 class IntelligentSurface:

@@ -25,6 +25,14 @@ from repro.channel.geometric import GeometricChannel
 from repro.channel.mobility import Trajectory
 from repro.utils import ensure_rng
 
+__all__ = [
+    "sample_indoor_location",
+    "sample_outdoor_location",
+    "reflector_attenuation_study",
+    "attenuation_cdf",
+    "spatial_power_heatmap",
+]
+
 
 def _relative_attenuation_db(paths) -> float:
     """Attenuation [dB] of the strongest reflection vs the direct path.

@@ -16,6 +16,16 @@ import numpy as np
 
 from repro.utils import wrap_angle
 
+__all__ = [
+    "Pose",
+    "Trajectory",
+    "StaticPose",
+    "LinearTrajectory",
+    "RotationTrajectory",
+    "WaypointTrajectory",
+    "angular_deviation_seen_by_tx",
+]
+
 
 @dataclass(frozen=True)
 class Pose:

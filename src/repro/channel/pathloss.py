@@ -20,6 +20,15 @@ import numpy as np
 
 from repro.utils import SPEED_OF_LIGHT
 
+__all__ = [
+    "MATERIAL_REFLECTION_LOSS_DB",
+    "reflection_loss_db",
+    "friis_path_loss_db",
+    "atmospheric_absorption_db_per_km",
+    "total_path_loss_db",
+    "path_amplitude",
+]
+
 #: Reflection loss per bounce [dB] for common building materials, centered
 #: on published 28/60 GHz measurement campaigns (Rappaport 2013; TIP 2019).
 MATERIAL_REFLECTION_LOSS_DB: Dict[str, float] = {

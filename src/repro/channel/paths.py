@@ -14,6 +14,13 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+__all__ = [
+    "Path",
+    "sort_by_power",
+    "relative_gains",
+    "relative_delays",
+]
+
 
 @dataclass(frozen=True)
 class Path:

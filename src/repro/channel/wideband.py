@@ -18,6 +18,17 @@ from repro.channel.geometric import GeometricChannel
 from repro.perf.cache import BoundedCache, array_key
 from repro.utils import normalized_sinc
 
+__all__ = [
+    "ofdm_frequency_grid",
+    "sampled_cir",
+    "sinc_dictionary",
+    "stacked_sinc_dictionaries",
+    "dirichlet_dictionary",
+    "stacked_dirichlet_dictionaries",
+    "cir_from_frequency_response",
+    "per_beam_gains",
+]
+
 #: Super-resolution dictionaries keyed on (kernel, bandwidth, grid spec,
 #: exact candidate delays).  The resolver re-fits the same candidate
 #: grids every maintenance round while the anchor holds still.

@@ -10,6 +10,7 @@ Usage::
     python -m repro trace fig16.jsonl --kind blockage_onset
     python -m repro run fig18 --fault probe_loss:0.1 --trace chaos.jsonl
     python -m repro run fault_tolerance --faults faults.json
+    python -m repro lint src --check-baseline
 
 ``--workers`` fans ensemble seed-runs out over the parallel executor,
 ``--seeds`` overrides the Monte-Carlo seed count for ensemble-backed
@@ -20,7 +21,9 @@ blockage onsets, beam retrains, MCS switches, ...) as JSONL.  ``repro
 trace`` renders a recorded JSONL file as a human-readable timeline.
 ``--fault KIND:RATE`` (repeatable) and ``--faults PATH`` inject
 deterministic faults (see :mod:`repro.faults`) into ensemble-backed
-experiments.
+experiments.  ``repro lint`` runs the project's domain-aware static
+analyzer (RNG discipline, dB/linear unit hygiene, telemetry contracts,
+purity — see :mod:`tools/repro_lint`) from any source checkout.
 """
 
 from __future__ import annotations
@@ -95,6 +98,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="load fault specs from a JSON file",
+    )
+    lint = commands.add_parser(
+        "lint",
+        help="run the repro-lint static analyzer (see 'repro lint --help')",
+    )
+    lint.add_argument(
+        "lint_args",
+        nargs=argparse.REMAINDER,
+        metavar="...",
+        help="arguments forwarded to repro-lint (e.g. src --check-baseline)",
     )
     trace = commands.add_parser(
         "trace", help="render a recorded telemetry trace as a timeline"
@@ -174,9 +187,59 @@ def _append_perf_counters(recorder) -> None:
     )
     if not fields:
         return
+    from repro.telemetry import EventKind
+
     events = recorder.events
     last_time = events[-1].time_s if len(events) else 0.0
-    recorder.emit("perf_counters", last_time, **fields)
+    recorder.emit(EventKind.PERF_COUNTERS, last_time, **fields)
+
+
+def _locate_repro_lint_tools() -> Optional[str]:
+    """Find the ``tools/`` directory that holds the repro_lint package.
+
+    Prefers the project root found by walking up from the working
+    directory (a ``pyproject.toml`` next to ``tools/repro_lint``), and
+    falls back to the source checkout the ``repro`` package itself was
+    imported from, so ``repro lint`` works from any subdirectory.
+    """
+    import os
+
+    probe = os.getcwd()
+    while True:
+        if os.path.isfile(
+            os.path.join(probe, "pyproject.toml")
+        ) and os.path.isdir(os.path.join(probe, "tools", "repro_lint")):
+            return os.path.join(probe, "tools")
+        parent = os.path.dirname(probe)
+        if parent == probe:
+            break
+        probe = parent
+    import repro
+
+    package = os.path.abspath(repro.__file__)
+    root = os.path.dirname(os.path.dirname(os.path.dirname(package)))
+    candidate = os.path.join(root, "tools")
+    if os.path.isdir(os.path.join(candidate, "repro_lint")):
+        return candidate
+    return None
+
+
+def command_lint(lint_args: List[str], out=None) -> int:
+    """Dispatch to the standalone analyzer in ``tools/repro_lint``."""
+    if out is None:
+        out = sys.stdout  # bind at call time so output redirection works
+    tools = _locate_repro_lint_tools()
+    if tools is None:
+        out.write(
+            "error: cannot locate tools/repro_lint; run 'repro lint' from "
+            "a source checkout of the project\n"
+        )
+        return 2
+    if tools not in sys.path:
+        sys.path.insert(0, tools)
+    from repro_lint.cli import main as lint_main
+
+    return lint_main(list(lint_args), out=out)
 
 
 def command_run(
@@ -282,6 +345,12 @@ def command_trace(
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # Forward everything verbatim: argparse.REMAINDER mis-parses
+        # leading options such as 'repro lint --list-rules'.
+        return command_lint(list(argv[1:]))
     arguments = build_parser().parse_args(argv)
     try:
         if arguments.command == "list":

@@ -32,7 +32,7 @@ from repro.experiments.common import (
 )
 from repro.phy.reference_signals import multibeam_maintenance_time_s
 from repro.sim.scenarios import three_path_channel, two_path_channel
-from repro.utils import ensure_rng
+from repro.utils import db_to_linear, ensure_rng, power_linear_to_db
 
 
 # ----------------------------------------------------------------------
@@ -108,7 +108,7 @@ def run_quantization_ablation(
             phase_bits=bits, amplitude_range_db=27.0
         )
         quantized = center_power(multibeam.weights(quantizer).vector)
-        losses[bits] = float(10 * np.log10(ideal / quantized))
+        losses[bits] = float(power_linear_to_db(ideal / quantized))
     return losses
 
 
@@ -143,7 +143,7 @@ def run_beam_count_ablation(max_beams: int = 4, seed: int = 2) -> BeamCountTrade
     overheads = np.empty(len(ks))
     for i, k in enumerate(ks):
         multibeam = multibeam_from_channel(channel, int(k))
-        gains[i] = 10 * np.log10(
+        gains[i] = power_linear_to_db(
             center_power(multibeam.weights().vector) / single
         )
         overheads[i] = multibeam_maintenance_time_s(int(k)) * 1e3
@@ -169,7 +169,7 @@ def run_regularization_ablation(
     alphas_true = np.array([1.0, 0.5 * np.exp(0.9j)])
     powers_true = np.abs(alphas_true) ** 2
     delays = [20e-9, 21.2e-9]
-    noise_std = 10 ** (-snr_db / 20.0)
+    noise_std = float(db_to_linear(-snr_db))
     freqs = ofdm_frequency_grid(bandwidth, num_taps)
     results: Dict[float, float] = {}
     for lam in lambdas:
@@ -190,7 +190,7 @@ def run_regularization_ablation(
             )
             powers = resolver.estimate(cir).per_beam_power()
             errors.append(np.mean((powers - powers_true) ** 2))
-        results[lam] = float(10 * np.log10(np.mean(errors)))
+        results[lam] = float(power_linear_to_db(np.mean(errors)))
     return results
 
 

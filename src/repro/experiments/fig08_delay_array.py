@@ -19,6 +19,7 @@ from repro.arrays.steering import single_beam_weights
 from repro.core.delay_opt import band_response_db, build_delay_array, flatness_db
 from repro.experiments.common import TESTBED_ULA
 from repro.sim.scenarios import two_path_channel
+from repro.utils import power_linear_to_db
 
 
 @dataclass(frozen=True)
@@ -56,7 +57,7 @@ def run_band_responses(
         # Single-beam reference: flat, but misses the second path's power.
         w = single_beam_weights(array, channel.paths[0].aod_rad)
         single = np.abs(channel.frequency_response(w, freqs)) ** 2
-        responses[f"single-beam-{label}"] = 10.0 * np.log10(single)
+        responses[f"single-beam-{label}"] = power_linear_to_db(single)
     return DelayArrayResponse(frequencies_hz=freqs, responses_db=responses)
 
 

@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.channel.wideband import cir_from_frequency_response, ofdm_frequency_grid
 from repro.core.superres import SuperResolver
-from repro.utils import ensure_rng
+from repro.utils import db_to_linear, ensure_rng, power_linear_to_db
 
 
 @dataclass(frozen=True)
@@ -56,7 +56,7 @@ def run_mse_sweep(
     base_delay = 20e-9
     alphas_true = np.array([1.0, 0.5 * np.exp(0.9j)])
     powers_true = np.abs(alphas_true) ** 2
-    noise_std = 10 ** (-snr_db / 20.0)
+    noise_std = float(db_to_linear(-snr_db))
     mse = np.empty(len(relative_tofs_s))
     for i, tof in enumerate(relative_tofs_s):
         resolver = SuperResolver(
@@ -78,7 +78,7 @@ def run_mse_sweep(
         mse[i] = float(np.mean(errors))
     return SuperResSweep(
         relative_tofs_s=np.asarray(relative_tofs_s),
-        mse_db=10.0 * np.log10(mse),
+        mse_db=power_linear_to_db(mse),
         resolution_s=1.0 / bandwidth_hz,
     )
 
@@ -103,7 +103,7 @@ def run_two_sinc_recovery(
     alphas_true = np.array([1.0, 0.45 * np.exp(-0.6j)])
     delays = [20e-9, 21.8e-9]
     cir = _noisy_cir(
-        alphas_true, delays, bandwidth_hz, 64, 10 ** (-30 / 20), rng
+        alphas_true, delays, bandwidth_hz, 64, float(db_to_linear(-30.0)), rng
     )
     resolver = SuperResolver(
         bandwidth_hz=bandwidth_hz, relative_delays_s=np.array([0.0, 1.8e-9])

@@ -18,7 +18,7 @@ from repro.arrays.steering import single_beam_weights
 from repro.core.multibeam import MultiBeam
 from repro.experiments.common import TESTBED_ULA
 from repro.sim.scenarios import two_path_channel
-from repro.utils import complex_from_polar
+from repro.utils import complex_from_polar, db_to_linear, power_linear_to_db
 
 #: Paper's channel: second path at -3 dB, relative phase -40 degrees.
 CHANNEL_DELTA_DB = -3.0
@@ -71,13 +71,13 @@ def run_sensitivity_grid(
     angles = (0.0, np.deg2rad(30.0))
     for i, amp_db in enumerate(amplitudes_db):
         for j, phase in enumerate(phases):
-            applied = complex_from_polar(10 ** (amp_db / 20.0), phase)
+            applied = complex_from_polar(float(db_to_linear(amp_db)), phase)
             multibeam = MultiBeam(
                 array=array, angles_rad=angles,
                 relative_gains=(1.0, applied),
             )
             power = center_power(multibeam.weights().vector)
-            gain_db[i, j] = 10.0 * np.log10(power / single_power)
+            gain_db[i, j] = power_linear_to_db(power / single_power)
     return SensitivityGrid(
         applied_phases_rad=phases,
         applied_amplitudes_db=amplitudes_db,

@@ -32,7 +32,7 @@ from repro.experiments.common import (
     make_sounder,
 )
 from repro.sim.scenarios import three_path_channel, two_path_channel
-from repro.utils import complex_from_polar
+from repro.utils import complex_from_polar, db_to_linear, linear_to_db
 
 #: The indoor micro-benchmark channel: LOS 0 deg, NLOS 30 deg, 7 m.
 DELTA_DB = -4.0
@@ -106,7 +106,10 @@ def run_combining_accuracy(
     best_phase = float(phases[np.argmax(snr_phase)])
     snr_amp = np.empty(num_scan)
     for i, amp_db in enumerate(amplitudes_db):
-        gains = (1.0, complex_from_polar(10 ** (amp_db / 20.0), best_phase))
+        gains = (
+            1.0,
+            complex_from_polar(float(db_to_linear(amp_db)), best_phase),
+        )
         multibeam = MultiBeam(
             array=array, angles_rad=angles, relative_gains=gains
         )
@@ -126,7 +129,7 @@ def run_combining_accuracy(
         scan_amplitudes_db=amplitudes_db,
         snr_vs_amplitude_db=snr_amp,
         estimated_phase_rad=float(np.mod(np.angle(gain), 2 * np.pi)),
-        estimated_amplitude_db=float(20 * np.log10(abs(gain))),
+        estimated_amplitude_db=float(linear_to_db(abs(gain))),
     )
 
 

@@ -28,6 +28,7 @@ from repro.experiments.common import (
 )
 from repro.sim.link import LinkSimulator
 from repro.sim.scenarios import SyntheticScenario, two_path_channel
+from repro.utils import power_linear_to_db
 
 
 @dataclass(frozen=True)
@@ -78,8 +79,7 @@ def run_per_beam_power_trace(
         measured[i] = resolver.estimate(cir).per_beam_power_db()
     pattern = np.stack(
         [
-            10.0
-            * np.log10(
+            power_linear_to_db(
                 ula_power_pattern(
                     array.num_elements, rotations, steer_angle_rad=angle
                 )
@@ -106,7 +106,7 @@ def run_angle_accuracy(
     errors: Dict[float, float] = {}
     for rotation_deg in rotations_deg:
         rotation = np.deg2rad(rotation_deg)
-        drop_db = -10.0 * np.log10(
+        drop_db = -power_linear_to_db(
             ula_power_pattern(array.num_elements, rotation)
         )
         trial_errors = []

@@ -32,6 +32,7 @@ from repro.phy.reference_signals import (
 from repro.sim.executor import EnsembleSpec, EnsembleSummary, execute_ensemble
 from repro.sim.link import LinkSimulator
 from repro.sim.scenarios import indoor_two_path_scenario
+from repro.utils.rng import named_substream
 
 
 # ----------------------------------------------------------------------
@@ -57,7 +58,7 @@ def run_static_blockers(
                     # (the paper's walkers cross the beams at different
                     # times; simultaneous full blockage is unrecoverable
                     # for every system and tests nothing).
-                    rng = np.random.default_rng(500 + seed)
+                    rng = named_substream(seed, "fig18.blockage_windows")
                     events = []
                     for b in range(num_blockers):
                         window = 0.9 / num_blockers

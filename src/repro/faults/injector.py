@@ -23,12 +23,14 @@ probe-level faults through their sounder).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.faults.spec import CHAOS_KINDS, KNOWN_FAULT_KINDS, FaultKind, FaultSpec
 from repro.telemetry import EventKind, get_recorder
+from repro.utils import db_to_linear
 
 #: Mixed into every injector stream so fault randomness can never collide
 #: with the sounder streams seeded from the same run seed.
@@ -72,8 +74,8 @@ class FaultInjector:
                 raise ValueError(f"duplicate fault spec for kind {spec.kind!r}")
             self._spec_by_kind[spec.kind] = spec
         self._rngs: Dict[str, np.random.Generator] = {}
-        self._stuck_masks: Dict[int, np.ndarray] = {}
-        self._last_clean_csi: Optional[np.ndarray] = None
+        self._stuck_masks: Dict[int, npt.NDArray[np.bool_]] = {}
+        self._last_clean_csi: Optional[npt.NDArray[Any]] = None
         self._chaos: Optional[Tuple[float, bool]] = None
         #: Chronological ``(time_s, kind)`` log of every fault that fired,
         #: the ground truth for schedule-reproducibility tests.
@@ -118,7 +120,9 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # probe-level hooks (called by ChannelSounder.sound)
 
-    def filter_probe(self, csi: np.ndarray, time_s: float = 0.0) -> np.ndarray:
+    def filter_probe(
+        self, csi: npt.NDArray[Any], time_s: float = 0.0
+    ) -> npt.NDArray[Any]:
         """Apply probe-level faults to one sounded CSI snapshot.
 
         Each probe-level kind draws exactly once per call so schedules
@@ -146,11 +150,13 @@ class FaultInjector:
             self._record(
                 FaultKind.PROBE_CORRUPTION, time_s, offset_db=offset_db
             )
-            return csi * 10.0 ** (offset_db / 20.0)
+            return csi * float(db_to_linear(offset_db))
         self._last_clean_csi = csi.copy()
         return csi
 
-    def apply_element_faults(self, weights: np.ndarray) -> np.ndarray:
+    def apply_element_faults(
+        self, weights: npt.NDArray[Any]
+    ) -> npt.NDArray[Any]:
         """Force stuck array elements to a constant weight.
 
         The stuck mask is drawn once per array size and then held for the
@@ -215,7 +221,7 @@ class FaultInjector:
         return self._chaos_draws()[1]
 
 
-def install_fault_injector(manager, injector: FaultInjector):
+def install_fault_injector(manager: Any, injector: FaultInjector) -> Any:
     """Wire one injector into a manager's fault hooks, duck-typed.
 
     Probe-level faults ride the sounder (every manager kind has one);

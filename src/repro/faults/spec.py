@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Tuple, Union
+from typing import Any, Dict, Iterable, List, Mapping, Tuple, Union
 
 
 class FaultKind:
@@ -134,7 +134,7 @@ def parse_fault(text: str) -> FaultSpec:
         rate = float(rate_text)
     except ValueError:
         raise ValueError(f"fault rate must be a number, got {rate_text!r}")
-    params = []
+    params: List[Tuple[str, float]] = []
     if len(pieces) > 2:
         for item in ":".join(pieces[2:]).split(","):
             item = item.strip()
@@ -156,7 +156,7 @@ def parse_fault(text: str) -> FaultSpec:
     return FaultSpec(kind=kind, rate=rate, params=tuple(params))
 
 
-def load_fault_specs(source) -> Tuple[FaultSpec, ...]:
+def load_fault_specs(source: Any) -> Tuple[FaultSpec, ...]:
     """Load a chaos campaign from JSON.
 
     ``source`` is a path, an open text stream, or an already-parsed
@@ -180,7 +180,7 @@ def load_fault_specs(source) -> Tuple[FaultSpec, ...]:
             raise ValueError('fault spec object must carry a "faults" list')
     if not isinstance(document, list):
         raise ValueError("fault spec document must be a list of specs")
-    specs = []
+    specs: List[FaultSpec] = []
     for entry in document:
         if not isinstance(entry, Mapping):
             raise ValueError(f"each fault spec must be a mapping, got {entry!r}")

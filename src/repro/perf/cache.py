@@ -23,15 +23,18 @@ shared; callers must copy before mutating (none of the hot paths do).
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, Hashable, Optional
+from typing import Callable, Dict, Hashable, Optional, TypeVar, cast
 
 import numpy as np
+import numpy.typing as npt
+
+_T = TypeVar("_T")
 
 #: Process-wide registry of every live cache, keyed by cache name.
 _REGISTRY: Dict[str, "BoundedCache"] = {}
 
 
-def _freeze(value):
+def _freeze(value: _T) -> _T:
     """Make shared cache values safe: freeze ndarrays in place."""
     if isinstance(value, np.ndarray):
         value.setflags(write=False)
@@ -64,7 +67,7 @@ class BoundedCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get_or_build(self, key: Hashable, build: Callable[[], object]):
+    def get_or_build(self, key: Hashable, build: Callable[[], _T]) -> _T:
         """The cached value for ``key``, building and storing on a miss."""
         from repro.telemetry import get_recorder
 
@@ -75,16 +78,18 @@ class BoundedCache:
             self.misses += 1
             if recorder.enabled:
                 recorder.counter(f"perf.cache.{self.name}.misses").inc()
-            value = _freeze(build())
-            self._entries[key] = value
+            built = _freeze(build())
+            self._entries[key] = built
             if len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
-            return value
+            return built
         self.hits += 1
         if recorder.enabled:
             recorder.counter(f"perf.cache.{self.name}.hits").inc()
         self._entries.move_to_end(key)
-        return value
+        # The registry is type-erased: every entry for ``key`` was built
+        # by this method with the same build callable.
+        return cast(_T, value)
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; returns whether it existed."""
@@ -117,6 +122,6 @@ def cache_stats() -> Dict[str, Dict[str, int]]:
     return {name: cache.stats() for name, cache in sorted(_REGISTRY.items())}
 
 
-def array_key(values) -> bytes:
+def array_key(values: npt.ArrayLike) -> bytes:
     """A hashable key for a float/complex array's exact contents."""
     return np.asarray(values).tobytes()

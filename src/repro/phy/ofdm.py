@@ -65,7 +65,7 @@ class OfdmConfig:
         if grid is None:
             grid = ofdm_frequency_grid(self.bandwidth_hz, self.num_subcarriers)
             grid.setflags(write=False)
-            object.__setattr__(self, "_grid_cache", grid)
+            object.__setattr__(self, "_grid_cache", grid)  # repro-lint: disable=RL302 (lazy read-only cache)
         return grid
 
     @property

@@ -40,6 +40,7 @@ from repro.telemetry.metrics import (
 from repro.telemetry.recorder import (
     NULL_RECORDER,
     NullRecorder,
+    RecorderLike,
     TelemetryRecorder,
     get_recorder,
     set_recorder,
@@ -58,6 +59,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL_RECORDER",
     "NullRecorder",
+    "RecorderLike",
     "TelemetryRecorder",
     "TelemetrySummary",
     "get_recorder",

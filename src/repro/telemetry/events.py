@@ -14,7 +14,18 @@ back to the parent through the ensemble executor unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+    overload,
+)
 
 
 class EventKind:
@@ -47,6 +58,8 @@ class EventKind:
     WATCHDOG_TRIP = "watchdog_trip"
     #: The executor re-queued a failed run for another attempt.
     RUN_RETRY = "run_retry"
+    #: Synthetic trailer event folding perf counters into a trace (CLI).
+    PERF_COUNTERS = "perf_counters"
 
     @classmethod
     def all(cls) -> Tuple[str, ...]:
@@ -90,7 +103,7 @@ class Event:
         return payload
 
     @classmethod
-    def from_dict(cls, payload: Mapping[str, object]) -> "Event":
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Event":
         """Inverse of :meth:`to_dict` (unknown keys become fields)."""
         reserved = {"time_s", "kind", "run"}
         return cls(
@@ -125,7 +138,13 @@ class EventLog:
     def __iter__(self) -> Iterator[Event]:
         return iter(self._events)
 
-    def __getitem__(self, index):
+    @overload
+    def __getitem__(self, index: int) -> Event: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> List[Event]: ...
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[Event, List[Event]]:
         return self._events[index]
 
     def filter(

@@ -18,7 +18,7 @@ import numpy as np
 from repro.telemetry.events import Event, EventLog
 
 
-def _plain(value):
+def _plain(value: object) -> object:
     """Degrade numpy scalars/arrays (and containers) to JSON-safe types."""
     if isinstance(value, np.ndarray):
         return [_plain(item) for item in value.tolist()]
@@ -73,7 +73,7 @@ def read_events_jsonl(stream: TextIO) -> EventLog:
     return log
 
 
-def _format_field(value) -> str:
+def _format_field(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.4g}"
     if isinstance(value, (list, tuple)):

@@ -10,7 +10,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict
+from types import TracebackType
+from typing import Dict, Optional, Type, TypedDict
+
+
+class MetricsSnapshot(TypedDict):
+    """The plain-dict form of a registry (see :meth:`MetricsRegistry.snapshot`)."""
+
+    counters: Dict[str, float]
+    gauges: Dict[str, float]
+    histograms: Dict[str, Dict[str, float]]
 
 
 @dataclass
@@ -86,7 +95,12 @@ class _Timer:
         self._started = time.perf_counter()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         self._histogram.observe(time.perf_counter() - self._started)
 
 
@@ -123,7 +137,7 @@ class MetricsRegistry:
         """Time a ``with`` block into the named histogram (seconds)."""
         return _Timer(self.histogram(name))
 
-    def snapshot(self) -> Dict[str, Dict]:
+    def snapshot(self) -> MetricsSnapshot:
         """All metrics as plain nested dicts."""
         return {
             "counters": {n: c.value for n, c in self.counters.items()},

@@ -19,10 +19,72 @@ from __future__ import annotations
 
 import itertools
 from contextlib import contextmanager
-from typing import Iterable, Iterator, Optional
+from types import TracebackType
+from typing import (
+    TYPE_CHECKING,
+    ContextManager,
+    Iterable,
+    Iterator,
+    Optional,
+    Protocol,
+    Type,
+)
 
 from repro.telemetry.events import Event, EventKind, EventLog
-from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    _Timer,
+)
+
+if TYPE_CHECKING:
+    from repro.telemetry.summary import TelemetrySummary
+
+
+class CounterLike(Protocol):
+    """Anything a hot path can ``inc()`` (real counter or null sink)."""
+
+    def inc(self, amount: float = 1.0) -> None: ...
+
+
+class GaugeLike(Protocol):
+    """Anything a hot path can ``set()``."""
+
+    def set(self, value: float) -> None: ...
+
+
+class HistogramLike(Protocol):
+    """Anything a hot path can ``observe()``."""
+
+    def observe(self, value: float) -> None: ...
+
+
+class RecorderLike(Protocol):
+    """The structural interface instrumentation sites program against.
+
+    Both :class:`TelemetryRecorder` and :class:`NullRecorder` satisfy it;
+    callers must branch on ``enabled`` before doing any work whose only
+    purpose is feeding telemetry.
+    """
+
+    @property
+    def enabled(self) -> bool: ...
+
+    def emit(self, kind: str, time_s: float, **fields: object) -> None: ...
+
+    def begin_run(self, label: str, time_s: float = 0.0) -> str: ...
+
+    def end_run(self, time_s: float, **fields: object) -> None: ...
+
+    def counter(self, name: str) -> CounterLike: ...
+
+    def gauge(self, name: str) -> GaugeLike: ...
+
+    def histogram(self, name: str) -> HistogramLike: ...
+
+    def timer(self, name: str) -> ContextManager[object]: ...
 
 
 class _NullTimer:
@@ -33,7 +95,12 @@ class _NullTimer:
     def __enter__(self) -> "_NullTimer":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         pass
 
 
@@ -66,13 +133,13 @@ class NullRecorder:
     __slots__ = ()
     enabled = False
 
-    def emit(self, kind: str, time_s: float, **fields) -> None:
+    def emit(self, kind: str, time_s: float, **fields: object) -> None:
         pass
 
     def begin_run(self, label: str, time_s: float = 0.0) -> str:
         return ""
 
-    def end_run(self, time_s: float, **fields) -> None:
+    def end_run(self, time_s: float, **fields: object) -> None:
         pass
 
     def counter(self, name: str) -> _NullMetric:
@@ -105,14 +172,14 @@ class TelemetryRecorder:
         self.scope = scope
         self.events = EventLog()
         self.metrics = MetricsRegistry()
-        self._run_sequence = itertools.count()
+        self._run_sequence: Iterator[int] = itertools.count()
         self._current_run = scope
 
     @property
     def current_run(self) -> str:
         return self._current_run
 
-    def emit(self, kind: str, time_s: float, **fields) -> None:
+    def emit(self, kind: str, time_s: float, **fields: object) -> None:
         """Record one event at simulation time ``time_s``."""
         self.events.append(
             Event(
@@ -136,7 +203,7 @@ class TelemetryRecorder:
         self.emit(EventKind.RUN_START, time_s, label=label)
         return self._current_run
 
-    def end_run(self, time_s: float, **fields) -> None:
+    def end_run(self, time_s: float, **fields: object) -> None:
         """Emit ``run_end`` and fall back to the recorder's base scope."""
         self.emit(EventKind.RUN_END, time_s, **fields)
         self._current_run = self.scope
@@ -145,7 +212,7 @@ class TelemetryRecorder:
         """Fold in events recorded elsewhere (e.g. by a pool worker)."""
         self.events.extend(events)
 
-    def absorb_metrics(self, summary) -> None:
+    def absorb_metrics(self, summary: "TelemetrySummary") -> None:
         """Fold a worker run's counter/gauge totals into this registry.
 
         Pool workers record onto private recorders; their events come
@@ -159,38 +226,38 @@ class TelemetryRecorder:
         for name, value in summary.gauges.items():
             self.gauge(name).set(value)
 
-    def counter(self, name: str):
+    def counter(self, name: str) -> Counter:
         return self.metrics.counter(name)
 
-    def gauge(self, name: str):
+    def gauge(self, name: str) -> Gauge:
         return self.metrics.gauge(name)
 
-    def histogram(self, name: str):
+    def histogram(self, name: str) -> Histogram:
         return self.metrics.histogram(name)
 
-    def timer(self, name: str):
+    def timer(self, name: str) -> _Timer:
         return self.metrics.timer(name)
 
     def mark(self) -> int:
         """The current event count (for since-mark summaries)."""
         return len(self.events)
 
-    def summary(self, since: int = 0):
+    def summary(self, since: int = 0) -> "TelemetrySummary":
         """A :class:`TelemetrySummary` of everything recorded so far."""
         from repro.telemetry.summary import TelemetrySummary
 
         return TelemetrySummary.from_recorder(self, since=since)
 
 
-_current: object = NULL_RECORDER
+_current: RecorderLike = NULL_RECORDER
 
 
-def get_recorder():
+def get_recorder() -> RecorderLike:
     """The process-wide active recorder (the null recorder by default)."""
     return _current
 
 
-def set_recorder(recorder: Optional[object]):
+def set_recorder(recorder: Optional[RecorderLike]) -> RecorderLike:
     """Install ``recorder`` (or the null recorder for ``None``).
 
     Returns the previously installed recorder so callers can restore it;
@@ -203,7 +270,7 @@ def set_recorder(recorder: Optional[object]):
 
 
 @contextmanager
-def use_recorder(recorder) -> Iterator[object]:
+def use_recorder(recorder: RecorderLike) -> Iterator[RecorderLike]:
     """Scope ``recorder`` as the active recorder for a ``with`` block."""
     previous = set_recorder(recorder)
     try:

@@ -11,7 +11,19 @@ merges the per-seed summaries into the one carried by
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:
+    from repro.telemetry.recorder import TelemetryRecorder
 
 
 def _merge_histograms(
@@ -43,7 +55,9 @@ class TelemetrySummary:
     histograms: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @classmethod
-    def from_recorder(cls, recorder, since: int = 0) -> "TelemetrySummary":
+    def from_recorder(
+        cls, recorder: "TelemetryRecorder", since: int = 0
+    ) -> "TelemetrySummary":
         """Summarize a :class:`TelemetryRecorder`'s state.
 
         ``since`` restricts the *event* tallies to events appended after
@@ -51,7 +65,7 @@ class TelemetrySummary:
         """
         events = list(recorder.events)[since:]
         counts: Dict[str, int] = {}
-        runs = set()
+        runs: Set[str] = set()
         for event in events:
             counts[event.kind] = counts.get(event.kind, 0) + 1
             runs.add(event.run)
@@ -139,15 +153,15 @@ class TelemetrySummary:
         lines.extend(self._fast_path_lines())
         return "\n".join(lines)
 
-    def _fast_path_lines(self) -> list:
+    def _fast_path_lines(self) -> List[str]:
         """Lines showing whether the perf fast paths were exercised.
 
         Covers the ``perf.cache.<name>.hits/.misses`` counters bumped by
         :class:`repro.perf.BoundedCache` and the simulator's batched
         sample-clock counters/gauges.
         """
-        lines = []
-        caches = {}
+        lines: List[str] = []
+        caches: Dict[str, Dict[str, float]] = {}
         for name, value in self.counters.items():
             if not name.startswith("perf.cache."):
                 continue

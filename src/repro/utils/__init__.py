@@ -24,7 +24,7 @@ from repro.utils.mathx import (
     complex_from_polar,
     is_unit_norm,
 )
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import NAMED_SUBSTREAM_OFFSETS, ensure_rng, named_substream
 from repro.utils.validation import (
     check_positive,
     check_in_range,
@@ -48,6 +48,8 @@ __all__ = [
     "complex_from_polar",
     "is_unit_norm",
     "ensure_rng",
+    "named_substream",
+    "NAMED_SUBSTREAM_OFFSETS",
     "check_positive",
     "check_in_range",
     "check_array_1d",

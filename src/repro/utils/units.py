@@ -15,12 +15,13 @@ common class of bug in link-budget code.
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
 #: Speed of light in vacuum [m/s].
 SPEED_OF_LIGHT = 299_792_458.0
 
 
-def db_to_linear(value_db):
+def db_to_linear(value_db: npt.ArrayLike) -> npt.NDArray[np.float64]:
     """Convert an amplitude ratio from dB to linear (20·log10 rule).
 
     ``db_to_linear(6.02) ≈ 2.0`` — a 6 dB amplitude ratio doubles the field.
@@ -29,27 +30,27 @@ def db_to_linear(value_db):
     return 10.0 ** (np.asarray(value_db, dtype=float) / 20.0)
 
 
-def linear_to_db(value):
+def linear_to_db(value: npt.ArrayLike) -> npt.NDArray[np.float64]:
     """Convert an amplitude ratio from linear to dB (20·log10 rule)."""
     return 20.0 * np.log10(np.asarray(value, dtype=float))
 
 
-def power_db_to_linear(value_db):
+def power_db_to_linear(value_db: npt.ArrayLike) -> npt.NDArray[np.float64]:
     """Convert a power ratio from dB to linear (10·log10 rule)."""
     return 10.0 ** (np.asarray(value_db, dtype=float) / 10.0)
 
 
-def power_linear_to_db(value):
+def power_linear_to_db(value: npt.ArrayLike) -> npt.NDArray[np.float64]:
     """Convert a power ratio from linear to dB (10·log10 rule)."""
     return 10.0 * np.log10(np.asarray(value, dtype=float))
 
 
-def dbm_to_watt(value_dbm):
+def dbm_to_watt(value_dbm: npt.ArrayLike) -> npt.NDArray[np.float64]:
     """Convert power from dBm to watts. ``dbm_to_watt(30) == 1.0``."""
     return 10.0 ** ((np.asarray(value_dbm, dtype=float) - 30.0) / 10.0)
 
 
-def watt_to_dbm(value_watt):
+def watt_to_dbm(value_watt: npt.ArrayLike) -> npt.NDArray[np.float64]:
     """Convert power from watts to dBm. ``watt_to_dbm(1.0) == 30.0``."""
     return 10.0 * np.log10(np.asarray(value_watt, dtype=float)) + 30.0
 

@@ -1,0 +1,12 @@
+# lint-fixture: relpath=src/repro/_fixture_contracts_clean.py
+"""Contract-respecting telemetry code that must produce zero findings."""
+
+
+class EventKind:
+    PROBE_TX = "probe_tx"
+    LINK_DOWN = "link_down"
+
+
+def emit_every_kind(recorder, time_s):
+    recorder.emit(EventKind.PROBE_TX, time_s)
+    recorder.emit("link_down", time_s)

@@ -1,0 +1,24 @@
+# lint-fixture: relpath=src/repro/_fixture_contracts.py
+"""Telemetry/contract fixtures: one deliberate violation per RL2xx rule."""
+
+
+class EventKind:
+    PROBE_TX = "probe_tx"
+    NEVER_EMITTED = "never_emitted"  # expect: RL201
+
+
+def emit_registered(recorder, time_s):
+    recorder.emit(EventKind.PROBE_TX, time_s)
+
+
+def emit_unregistered(recorder, time_s):
+    recorder.emit("ghost_event", time_s)  # expect: RL202
+
+
+def charge_outside_layer(probe_budget, cost):
+    probe_budget.charge(cost)  # expect: RL203
+
+
+def cache_key_for(weights):
+    key = id(weights)  # expect: RL204
+    return key

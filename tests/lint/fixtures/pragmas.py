@@ -1,0 +1,17 @@
+# lint-fixture: relpath=src/repro/sim/_fixture_pragmas.py
+# repro-lint: disable-file=RL003
+"""Pragma behaviour: inline and file-wide suppressions, same-line only."""
+
+import numpy as np
+
+
+def suppressed_inline():
+    return np.random.rand(2)  # repro-lint: disable=RL001
+
+
+def suppressed_file_wide():
+    return np.random.default_rng()
+
+
+def still_reported():
+    return np.random.rand(3)  # expect: RL001

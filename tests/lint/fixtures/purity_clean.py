@@ -1,0 +1,18 @@
+# lint-fixture: relpath=src/repro/_fixture_purity_clean.py
+"""Purity-respecting code that must produce zero findings."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Label:
+    text: str
+
+    def __post_init__(self):
+        object.__setattr__(self, "text", self.text.strip())
+
+
+def accumulate(value, into=None):
+    items = list(into or ())
+    items.append(value)
+    return items

@@ -1,0 +1,17 @@
+# lint-fixture: relpath=src/repro/_fixture_purity.py
+"""Purity fixtures: one deliberate violation per RL3xx rule."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Label:
+    text: str
+
+    def rename(self, text):
+        object.__setattr__(self, "text", text)  # expect: RL302
+
+
+def accumulate(value, into=[]):  # expect: RL301
+    into.append(value)
+    return into

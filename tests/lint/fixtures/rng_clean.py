@@ -1,0 +1,21 @@
+# lint-fixture: relpath=src/repro/sim/_fixture_rng_clean.py
+"""Seed-disciplined RNG usage that must produce zero findings."""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def seeded(seed):
+    return np.random.default_rng(seed)
+
+
+def keyed_substream(seed, index):
+    return np.random.default_rng([seed, index])
+
+
+@dataclass(frozen=True)
+class RekeyedState:
+    """Holds a stream; the executor re-keys it per retry attempt."""
+
+    rng: np.random.Generator

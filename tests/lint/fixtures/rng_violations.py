@@ -1,0 +1,37 @@
+# lint-fixture: relpath=src/repro/sim/_fixture_rng.py
+"""RNG-discipline fixtures: one deliberate violation per RL0xx rule."""
+
+import random
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def legacy_draw():
+    return np.random.rand(4)  # expect: RL001
+
+
+def wall_clock_jitter():
+    jitter = random.random()  # expect: RL002
+    stamp = time.time()  # expect: RL002
+    return jitter, stamp
+
+
+def unseeded():
+    return np.random.default_rng()  # expect: RL003
+
+
+def constant_seed():
+    return np.random.default_rng(1234)  # expect: RL003
+
+
+def magic_offset(seed):
+    return np.random.default_rng(500 + seed)  # expect: RL005
+
+
+@dataclass(frozen=True)
+class SimState:
+    """Frozen state holding a generator, stream policy undocumented."""
+
+    rng: np.random.Generator  # expect: RL004

@@ -1,0 +1,12 @@
+# lint-fixture: relpath=src/repro/core/_fixture_units_clean.py
+"""Unit-disciplined code that must produce zero findings."""
+
+from repro.utils.units import power_db_to_linear, power_linear_to_db
+
+
+def snr_linear(snr_db):
+    return power_db_to_linear(snr_db)
+
+
+def combining_gain_db(power):
+    return power_linear_to_db(power)

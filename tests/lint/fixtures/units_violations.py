@@ -1,0 +1,20 @@
+# lint-fixture: relpath=src/repro/core/_fixture_units.py
+"""Unit-hygiene fixtures: one deliberate violation per RL1xx rule."""
+
+import numpy as np
+
+
+def mixed_domains(snr_db, noise_w):
+    return snr_db + noise_w  # expect: RL101
+
+
+def inline_db_to_linear(power_db):
+    return 10.0 ** (power_db / 10.0)  # expect: RL102
+
+
+def inline_linear_to_db(power):
+    return 10.0 * np.log10(power)  # expect: RL102
+
+
+def combining_gain(power):  # expect: RL103
+    return 20.0 * np.log10(power)  # expect: RL102

@@ -1,0 +1,128 @@
+"""Baseline mechanics: text-anchored matching, budgets, staleness."""
+
+from __future__ import annotations
+
+import json
+
+from repro_lint.baseline import (
+    BaselineEntry,
+    load_baseline,
+    reconcile,
+    resolve_baseline_path,
+    write_baseline,
+)
+from repro_lint.core import Finding
+
+
+def finding(line, rule="RL102", path="src/repro/x.py"):
+    return Finding(path=path, line=line, col=1, rule=rule, message="m")
+
+
+def entry(code, rule="RL102", path="src/repro/x.py", justification="ok"):
+    return BaselineEntry(rule=rule, path=path, code=code, justification=justification)
+
+
+CONVERSION = "y = 10.0 ** (x / 10.0)"
+
+
+class TestReconcile:
+    def test_matches_by_stripped_text_not_line_number(self):
+        # The entry was recorded at some other line; only the code text
+        # has to agree, so unrelated edits never invalidate a baseline.
+        lines = {"src/repro/x.py": ["", "", "", "", f"    {CONVERSION}"]}
+        check = reconcile(
+            [finding(5)],
+            [BaselineEntry(rule="RL102", path="src/repro/x.py", code=CONVERSION,
+                           line=99, justification="ok")],
+            lines,
+        )
+        assert check.matched == 1
+        assert not check.new_findings
+        assert not check.stale_entries
+        assert check.in_sync
+
+    def test_one_entry_absorbs_only_one_of_two_identical_lines(self):
+        lines = {"src/repro/x.py": [CONVERSION, CONVERSION]}
+        check = reconcile([finding(1), finding(2)], [entry(CONVERSION)], lines)
+        assert check.matched == 1
+        assert len(check.new_findings) == 1
+        assert not check.in_sync
+
+    def test_two_entries_absorb_two_identical_lines(self):
+        lines = {"src/repro/x.py": [CONVERSION, CONVERSION]}
+        check = reconcile(
+            [finding(1), finding(2)], [entry(CONVERSION), entry(CONVERSION)], lines
+        )
+        assert check.matched == 2
+        assert not check.new_findings
+        assert check.in_sync
+
+    def test_unmatched_entry_is_stale(self):
+        check = reconcile([], [entry(CONVERSION)], {})
+        assert len(check.stale_entries) == 1
+        assert not check.in_sync
+
+    def test_empty_justification_breaks_sync(self):
+        lines = {"src/repro/x.py": [CONVERSION]}
+        check = reconcile(
+            [finding(1)], [entry(CONVERSION, justification="  ")], lines
+        )
+        assert check.matched == 1
+        assert check.unjustified_entries
+        assert not check.in_sync
+
+
+class TestFilePersistence:
+    def test_write_then_load_round_trips(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        lines = {"src/repro/x.py": [CONVERSION]}
+        written = write_baseline(
+            path, [finding(1)], lines, default_justification="grandfathered"
+        )
+        assert [e.code for e in written] == [CONVERSION]
+        loaded = load_baseline(path)
+        assert loaded == [
+            BaselineEntry(
+                rule="RL102",
+                path="src/repro/x.py",
+                code=CONVERSION,
+                line=1,
+                justification="grandfathered",
+            )
+        ]
+
+    def test_rewrite_preserves_hand_written_justifications(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        lines = {"src/repro/x.py": [CONVERSION]}
+        previous = [entry(CONVERSION, justification="audited by hand")]
+        written = write_baseline(
+            path, [finding(1)], lines, previous=previous,
+            default_justification="placeholder",
+        )
+        assert written[0].justification == "audited by hand"
+
+    def test_missing_file_is_an_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == []
+
+    def test_malformed_document_is_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"not": "a list"}), encoding="utf-8")
+        try:
+            load_baseline(path)
+        except ValueError as error:
+            assert "JSON list" in str(error)
+        else:
+            raise AssertionError("malformed baseline must be rejected")
+
+
+class TestResolvePath:
+    def test_explicit_beats_configured(self, tmp_path):
+        resolved = resolve_baseline_path("explicit.json", "config.json", tmp_path)
+        assert resolved == tmp_path / "explicit.json"
+
+    def test_configured_is_root_relative(self, tmp_path):
+        resolved = resolve_baseline_path(None, "config.json", tmp_path)
+        assert resolved == tmp_path / "config.json"
+
+    def test_nothing_configured_means_no_baseline(self, tmp_path):
+        assert resolve_baseline_path(None, None, tmp_path) is None

@@ -1,0 +1,90 @@
+"""Configuration loading: the ``[tool.repro-lint]`` pyproject block."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro_lint.config import ConfigError, LintConfig, find_project_root, load_config
+
+
+def write_pyproject(root, body):
+    (root / "pyproject.toml").write_text(textwrap.dedent(body), encoding="utf-8")
+
+
+class TestFindProjectRoot:
+    def test_walks_up_to_the_pyproject(self, tmp_path):
+        write_pyproject(tmp_path, "[tool.repro-lint]\n")
+        nested = tmp_path / "src" / "deep"
+        nested.mkdir(parents=True)
+        assert find_project_root(nested) == tmp_path
+
+    def test_none_when_no_pyproject_anywhere(self, tmp_path):
+        nested = tmp_path / "plain"
+        nested.mkdir()
+        # tmp_path has no pyproject.toml and neither do its tmp ancestors.
+        assert find_project_root(nested) is None
+
+
+class TestLoadConfig:
+    def test_missing_file_yields_defaults(self, tmp_path):
+        config = load_config(tmp_path)
+        assert config.root == tmp_path
+        assert config.paths == ("src",)
+        assert config.baseline is None
+
+    def test_missing_block_yields_defaults(self, tmp_path):
+        write_pyproject(tmp_path, "[project]\nname = 'x'\n")
+        assert load_config(tmp_path).paths == ("src",)
+
+    def test_block_overrides_are_applied(self, tmp_path):
+        write_pyproject(
+            tmp_path,
+            """
+            [tool.repro-lint]
+            paths = ["src", "benchmarks"]
+            disable = ["RL403"]
+            baseline = "lint-baseline.json"
+            units-exempt = ["src/units"]
+            require-all = ["src/api"]
+
+            [tool.repro-lint.per-file-ignores]
+            "src/legacy" = ["RL301", "RL302"]
+            """,
+        )
+        config = load_config(tmp_path)
+        assert config.paths == ("src", "benchmarks")
+        assert config.disable == ("RL403",)
+        assert config.baseline == "lint-baseline.json"
+        assert config.units_exempt == ("src/units",)
+        assert config.require_all == ("src/api",)
+        assert config.per_file_ignores == {"src/legacy": ("RL301", "RL302")}
+
+    def test_unknown_key_is_rejected(self, tmp_path):
+        write_pyproject(tmp_path, "[tool.repro-lint]\nbogus = true\n")
+        with pytest.raises(ConfigError, match="unknown .* key"):
+            load_config(tmp_path)
+
+    def test_unknown_rule_code_is_rejected(self, tmp_path):
+        write_pyproject(tmp_path, '[tool.repro-lint]\ndisable = ["RL999"]\n')
+        with pytest.raises(ConfigError, match="RL999"):
+            load_config(tmp_path)
+
+    def test_wrongly_typed_list_is_rejected(self, tmp_path):
+        write_pyproject(tmp_path, '[tool.repro-lint]\npaths = "src"\n')
+        with pytest.raises(ConfigError, match="list of strings"):
+            load_config(tmp_path)
+
+
+class TestRuleEnabled:
+    def test_select_matches_by_prefix(self):
+        config = LintConfig(select=("RL1", "RL203"))
+        assert config.rule_enabled("RL102")
+        assert config.rule_enabled("RL203")
+        assert not config.rule_enabled("RL001")
+
+    def test_disable_beats_select(self):
+        config = LintConfig(select=("RL1",), disable=("RL102",))
+        assert not config.rule_enabled("RL102")
+        assert config.rule_enabled("RL101")

@@ -1,0 +1,165 @@
+"""CLI behaviour: exit codes, reports, and the baseline lifecycle."""
+
+from __future__ import annotations
+
+import io
+import json
+import textwrap
+
+import pytest
+
+from repro_lint.cli import main
+
+VIOLATION = """
+def snr_linear(snr_db):
+    return 10.0 ** (snr_db / 10.0)
+"""
+
+CLEAN = """
+from repro.utils.units import power_db_to_linear
+
+
+def snr_linear(snr_db):
+    return power_db_to_linear(snr_db)
+"""
+
+
+@pytest.fixture
+def project(tmp_path):
+    (tmp_path / "pyproject.toml").write_text(
+        textwrap.dedent(
+            """
+            [tool.repro-lint]
+            paths = ["src"]
+            baseline = "lint-baseline.json"
+            """
+        ),
+        encoding="utf-8",
+    )
+    sample = tmp_path / "src" / "repro" / "sample.py"
+    sample.parent.mkdir(parents=True)
+    sample.write_text(textwrap.dedent(VIOLATION), encoding="utf-8")
+    return tmp_path, sample
+
+
+def run(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestReporting:
+    def test_violation_exits_one_with_text_report(self, project):
+        root, _ = project
+        code, text = run("--root", str(root))
+        assert code == 1
+        assert "RL102" in text
+        assert "src/repro/sample.py:3" in text
+        assert "1 finding" in text
+
+    def test_json_format_is_machine_readable(self, project):
+        root, _ = project
+        code, text = run("--root", str(root), "--format", "json")
+        assert code == 1
+        payload = json.loads(text)
+        assert payload["files_scanned"] == 1
+        assert payload["findings"][0]["rule"] == "RL102"
+
+    def test_list_rules_covers_every_family(self, project):
+        code, text = run("--list-rules")
+        assert code == 0
+        for code_name in ("RL001", "RL102", "RL203", "RL301", "RL403"):
+            assert code_name in text
+
+    def test_select_flag_narrows_the_run(self, project):
+        root, _ = project
+        code, _ = run("--root", str(root), "--select", "RL3")
+        assert code == 0
+
+    def test_unknown_rule_code_is_a_usage_error(self, project):
+        root, _ = project
+        code, text = run("--root", str(root), "--disable", "RL999")
+        assert code == 2
+        assert "RL999" in text
+
+    def test_missing_target_is_a_usage_error(self, project):
+        root, _ = project
+        code, text = run("--root", str(root), "no/such/path")
+        assert code == 2
+        assert "no such file" in text
+
+    def test_root_is_autodetected_from_cwd(self, project, monkeypatch):
+        root, _ = project
+        monkeypatch.chdir(root / "src")
+        code, text = run()
+        assert code == 1
+        assert "src/repro/sample.py" in text
+
+
+class TestBaselineLifecycle:
+    def test_update_absorb_check_then_stale(self, project):
+        root, sample = project
+        baseline = root / "lint-baseline.json"
+
+        # 1. Grandfather the existing violation.
+        code, text = run("--root", str(root), "--update-baseline")
+        assert code == 0
+        assert baseline.is_file()
+        assert "wrote 1 baseline entry" in text
+
+        # 2. The lint run is now green, and the baseline says why.
+        code, text = run("--root", str(root))
+        assert code == 0
+        assert "baseline absorbed 1" in text
+
+        # 3. --check-baseline agrees: justified, no stale, nothing new.
+        code, _ = run("--root", str(root), "--check-baseline")
+        assert code == 0
+
+        # 4. --no-baseline still tells the truth about the violation.
+        code, _ = run("--root", str(root), "--no-baseline")
+        assert code == 1
+
+        # 5. Fixing the violation makes the entry stale: check fails so
+        #    the baseline cannot quietly rot.
+        sample.write_text(textwrap.dedent(CLEAN), encoding="utf-8")
+        code, _ = run("--root", str(root))
+        assert code == 0  # plain lint stays green ...
+        code, text = run("--root", str(root), "--check-baseline")
+        assert code == 1  # ... but the sync check demands a refresh
+        assert "stale baseline entry" in text
+
+        # 6. Refreshing empties the baseline and restores sync.
+        code, _ = run("--root", str(root), "--update-baseline")
+        assert code == 0
+        code, _ = run("--root", str(root), "--check-baseline")
+        assert code == 0
+
+    def test_unjustified_entry_fails_the_check(self, project):
+        root, _ = project
+        (root / "lint-baseline.json").write_text(
+            json.dumps(
+                [
+                    {
+                        "rule": "RL102",
+                        "path": "src/repro/sample.py",
+                        "line": 3,
+                        "code": "return 10.0 ** (snr_db / 10.0)",
+                        "justification": "",
+                    }
+                ]
+            ),
+            encoding="utf-8",
+        )
+        code, text = run("--root", str(root), "--check-baseline")
+        assert code == 1
+        assert "unjustified baseline entry" in text
+
+    def test_update_without_a_path_is_a_usage_error(self, tmp_path):
+        (tmp_path / "pyproject.toml").write_text(
+            "[tool.repro-lint]\npaths = ['src']\n", encoding="utf-8"
+        )
+        (tmp_path / "src").mkdir()
+        code, text = run("--root", str(tmp_path), "--update-baseline")
+        assert code == 2
+        assert "no baseline path" in text

@@ -1,0 +1,49 @@
+"""The repo's own lint surface must stay green and in sync.
+
+These are the tests CI leans on: ``repro lint src --check-baseline``
+over the real tree must exit 0, every committed baseline entry must
+carry a real justification, and the ``repro lint`` subcommand must
+dispatch to the analyzer.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro_lint.baseline import load_baseline
+from repro_lint.cli import main as lint_main
+from repro_lint.registry import ALL_RULES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE_PATH = REPO_ROOT / "tools" / "repro_lint" / "baseline.json"
+
+
+def test_repo_tree_lints_clean_with_baseline_in_sync():
+    out = io.StringIO()
+    code = lint_main(["--root", str(REPO_ROOT), "src", "--check-baseline"], out=out)
+    assert code == 0, f"repro lint src --check-baseline failed:\n{out.getvalue()}"
+
+
+def test_committed_baseline_entries_are_justified_and_known():
+    entries = load_baseline(BASELINE_PATH)
+    assert entries, "the committed baseline must exist and be non-empty"
+    for entry in entries:
+        assert entry.justification.strip(), (
+            f"baseline entry without justification: {entry.rule} {entry.path} "
+            f"{entry.code!r}"
+        )
+        assert entry.rule in ALL_RULES, f"baseline names unknown rule {entry.rule}"
+        assert entry.path.startswith("src/"), (
+            f"baseline entry outside the lint surface: {entry.path}"
+        )
+
+
+def test_repro_cli_dispatches_lint_subcommand(capsys):
+    from repro.cli import main as repro_main
+
+    code = repro_main(["lint", "--list-rules"])
+    text = capsys.readouterr().out
+    assert code == 0
+    assert "RL001" in text
+    assert "RL403" in text

@@ -1,0 +1,180 @@
+"""Baseline: committed, justified grandfathered findings.
+
+A baseline entry matches a live finding by ``(rule, path, stripped
+source line text)`` — never by line *number*, so unrelated edits that
+shift code do not invalidate the baseline.  Multiple identical lines in
+one file are handled by count: N entries absorb at most N findings.
+
+The file is JSON — a list of objects::
+
+    {"rule": "RL102", "path": "src/repro/channel/irs.py",
+     "line": 97, "code": "amplitude = 10.0 ** (-loss_db / 20.0)",
+     "justification": "grandfathered ..."}
+
+``line`` is informational (kept fresh by ``--update-baseline``);
+``justification`` is mandatory for a baseline the repo commits —
+``repro lint --check-baseline`` fails on entries without one, on stale
+entries that no longer match any finding, and on new findings missing
+from the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro_lint.core import Finding
+
+_MatchKey = Tuple[str, str, str]  # (rule, path, stripped code line)
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    code: str
+    line: int = 0
+    justification: str = ""
+
+    def key(self) -> _MatchKey:
+        return (self.rule, self.path, self.code)
+
+
+@dataclass
+class BaselineCheck:
+    """Outcome of reconciling findings against a baseline."""
+
+    new_findings: List[Finding]
+    matched: int
+    stale_entries: List[BaselineEntry]
+    unjustified_entries: List[BaselineEntry]
+
+    @property
+    def in_sync(self) -> bool:
+        return not self.new_findings and not self.stale_entries and not (
+            self.unjustified_entries
+        )
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    if not path.is_file():
+        return []
+    with open(path, "r", encoding="utf-8") as stream:
+        document = json.load(stream)
+    if not isinstance(document, list):
+        raise ValueError(f"{path}: baseline must be a JSON list")
+    entries = []
+    for raw in document:
+        if not isinstance(raw, dict) or "rule" not in raw or "path" not in raw:
+            raise ValueError(f"{path}: malformed baseline entry {raw!r}")
+        entries.append(
+            BaselineEntry(
+                rule=str(raw["rule"]),
+                path=str(raw["path"]),
+                code=str(raw.get("code", "")),
+                line=int(raw.get("line", 0)),
+                justification=str(raw.get("justification", "")),
+            )
+        )
+    return entries
+
+
+def _finding_key(finding: Finding, source_lines: Dict[str, List[str]]) -> _MatchKey:
+    lines = source_lines.get(finding.path, [])
+    code = ""
+    if 1 <= finding.line <= len(lines):
+        code = lines[finding.line - 1].strip()
+    return (finding.rule, finding.path, code)
+
+
+def reconcile(
+    findings: Sequence[Finding],
+    entries: Sequence[BaselineEntry],
+    source_lines: Dict[str, List[str]],
+) -> BaselineCheck:
+    """Split findings into baselined and new; detect stale entries."""
+    budget: Counter = Counter(entry.key() for entry in entries)
+    new_findings: List[Finding] = []
+    matched = 0
+    for finding in sorted(findings, key=Finding.sort_key):
+        key = _finding_key(finding, source_lines)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            matched += 1
+        else:
+            new_findings.append(finding)
+    stale = [entry for entry in entries if budget.get(entry.key(), 0) > 0]
+    # Deduplicate stale reporting per leftover count.
+    leftover = Counter(budget)
+    stale_entries: List[BaselineEntry] = []
+    for entry in entries:
+        if leftover.get(entry.key(), 0) > 0:
+            leftover[entry.key()] -= 1
+            stale_entries.append(entry)
+    del stale
+    unjustified = [e for e in entries if not e.justification.strip()]
+    return BaselineCheck(
+        new_findings=new_findings,
+        matched=matched,
+        stale_entries=stale_entries,
+        unjustified_entries=unjustified,
+    )
+
+
+def write_baseline(
+    path: Path,
+    findings: Sequence[Finding],
+    source_lines: Dict[str, List[str]],
+    previous: Sequence[BaselineEntry] = (),
+    default_justification: str = "",
+) -> List[BaselineEntry]:
+    """Rewrite the baseline from current findings.
+
+    Justifications of entries that still match are preserved.
+    """
+    remembered: Dict[_MatchKey, List[str]] = {}
+    for entry in previous:
+        if entry.justification:
+            remembered.setdefault(entry.key(), []).append(entry.justification)
+
+    entries: List[BaselineEntry] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        key = _finding_key(finding, source_lines)
+        kept = remembered.get(key)
+        justification = kept.pop(0) if kept else default_justification
+        entries.append(
+            BaselineEntry(
+                rule=finding.rule,
+                path=finding.path,
+                code=key[2],
+                line=finding.line,
+                justification=justification,
+            )
+        )
+    payload = [
+        {
+            "rule": entry.rule,
+            "path": entry.path,
+            "line": entry.line,
+            "code": entry.code,
+            "justification": entry.justification,
+        }
+        for entry in entries
+    ]
+    with open(path, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, indent=2)
+        stream.write("\n")
+    return entries
+
+
+def resolve_baseline_path(
+    explicit: Optional[str], configured: Optional[str], root: Path
+) -> Optional[Path]:
+    chosen = explicit if explicit is not None else configured
+    if chosen is None:
+        return None
+    path = Path(chosen)
+    return path if path.is_absolute() else root / path

@@ -1,0 +1,173 @@
+"""The lint engine: collect files, run rule families, filter, reconcile.
+
+Pipeline::
+
+    files -> parse -> per-file rules ─┐
+                  └-> project state ──┴-> raw findings
+    raw -> pragma filter -> config filter -> baseline reconcile -> result
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro_lint import (
+    baseline as baseline_mod,
+    rules_modules,
+    rules_purity,
+    rules_rng,
+    rules_units,
+)
+from repro_lint.config import LintConfig
+from repro_lint.core import FileContext, Finding, path_in_scope
+from repro_lint.rules_contracts import ContractChecker
+
+_PER_FILE_CHECKS = (
+    rules_rng.check,
+    rules_units.check,
+    rules_purity.check,
+    rules_modules.check,
+)
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    #: findings after pragma/config filtering, before the baseline.
+    findings: List[Finding] = field(default_factory=list)
+    #: findings not absorbed by the baseline (what the run reports).
+    new_findings: List[Finding] = field(default_factory=list)
+    #: baseline reconciliation outcome (None when no baseline is used).
+    baseline_check: Optional[baseline_mod.BaselineCheck] = None
+    #: files that failed to parse: (path, error message).
+    errors: List[Tuple[str, str]] = field(default_factory=list)
+    files_scanned: int = 0
+    #: stripped source lines per relpath (for baseline matching/update).
+    source_lines: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        return 1 if self.new_findings else 0
+
+
+def _iter_python_files(root: Path, targets: Sequence[str], config: LintConfig):
+    seen = set()
+    for target in targets:
+        path = Path(target)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_file():
+            candidates = [path]
+        elif path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {target}")
+        for candidate in candidates:
+            try:
+                relpath = candidate.resolve().relative_to(root.resolve()).as_posix()
+            except ValueError:
+                relpath = candidate.as_posix()
+            if relpath in seen or path_in_scope(relpath, config.exclude):
+                continue
+            if any(part == "__pycache__" for part in Path(relpath).parts):
+                continue
+            seen.add(relpath)
+            yield candidate, relpath
+
+
+def lint_paths(
+    paths: Sequence[str],
+    config: LintConfig,
+    use_baseline: bool = True,
+    baseline_path: Optional[Path] = None,
+) -> LintResult:
+    """Run every enabled rule over ``paths`` (project-relative or absolute)."""
+    result = LintResult()
+    targets = tuple(paths) or config.paths
+    contracts = ContractChecker()
+    import_graph = rules_modules.ImportGraph()
+    contexts: List[FileContext] = []
+    raw: List[Finding] = []
+
+    for file_path, relpath in _iter_python_files(config.root, targets, config):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            ctx = FileContext(relpath, source)
+        except (SyntaxError, UnicodeDecodeError) as error:
+            result.errors.append((relpath, str(error)))
+            continue
+        contexts.append(ctx)
+        result.files_scanned += 1
+        result.source_lines[relpath] = ctx.lines
+        for check in _PER_FILE_CHECKS:
+            raw.extend(check(ctx, config))
+        raw.extend(contracts.check_file(ctx, config))
+        import_graph.collect(ctx)
+
+    # RL201 (unused EventKind) is only sound when the scan covers the
+    # configured default surface — a subset scan cannot prove a kind dead.
+    full_scan = _covers_default_surface(targets, config)
+    raw.extend(contracts.finalize(config, check_unused_kinds=full_scan))
+    raw.extend(import_graph.finalize())
+
+    # Pragmas, then config-level filters.
+    pragmas = {ctx.relpath: ctx.pragmas for ctx in contexts}
+    filtered: List[Finding] = []
+    for finding in raw:
+        if not config.rule_enabled(finding.rule):
+            continue
+        if config.ignored_for(finding.path, finding.rule):
+            continue
+        file_pragmas = pragmas.get(finding.path)
+        if file_pragmas is not None and file_pragmas.suppresses(finding):
+            continue
+        filtered.append(finding)
+    filtered.sort(key=Finding.sort_key)
+    result.findings = filtered
+
+    # Baseline reconciliation.
+    entries: List[baseline_mod.BaselineEntry] = []
+    if use_baseline and baseline_path is not None:
+        entries = baseline_mod.load_baseline(baseline_path)
+    if entries:
+        check = baseline_mod.reconcile(filtered, entries, result.source_lines)
+        result.baseline_check = check
+        result.new_findings = check.new_findings
+    else:
+        result.new_findings = list(filtered)
+        if use_baseline and baseline_path is not None:
+            # An empty/missing baseline still reports sync status.
+            result.baseline_check = baseline_mod.BaselineCheck(
+                new_findings=result.new_findings,
+                matched=0,
+                stale_entries=[],
+                unjustified_entries=[],
+            )
+    return result
+
+
+def _covers_default_surface(targets: Sequence[str], config: LintConfig) -> bool:
+    normalized = set()
+    for target in targets:
+        path = Path(target)
+        if path.is_absolute():
+            try:
+                target = path.resolve().relative_to(
+                    config.root.resolve()
+                ).as_posix()
+            except ValueError:
+                pass
+        normalized.add(str(target).rstrip("/"))
+    for default in config.paths:
+        default = default.rstrip("/")
+        if not any(
+            default == target or path_in_scope(default, [target])
+            for target in normalized
+        ):
+            return False
+    return True

@@ -1,0 +1,37 @@
+"""The rule registry: every RL code, its family, and its summary."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro_lint import rules_contracts, rules_modules, rules_purity, rules_rng, rules_units
+
+FAMILIES = {
+    "RL0": "RNG discipline",
+    "RL1": "unit hygiene (dB vs linear)",
+    "RL2": "telemetry & subsystem contracts",
+    "RL3": "purity & mutability",
+    "RL4": "module hygiene",
+}
+
+#: code -> one-line summary, merged from every rule family.
+ALL_RULES: Dict[str, str] = {}
+for _module in (rules_rng, rules_units, rules_contracts, rules_purity, rules_modules):
+    ALL_RULES.update(_module.RULES)
+
+
+def family_of(code: str) -> str:
+    return FAMILIES.get(code[:3], "unknown")
+
+
+def describe_rules() -> str:
+    """The ``--list-rules`` text."""
+    lines = []
+    current_family = None
+    for code in sorted(ALL_RULES):
+        family = family_of(code)
+        if family != current_family:
+            lines.append(f"[{code[:3]}xx] {family}")
+            current_family = family
+        lines.append(f"  {code}  {ALL_RULES[code]}")
+    return "\n".join(lines)

@@ -1,0 +1,266 @@
+"""RL2xx — telemetry and subsystem contracts.
+
+The telemetry event taxonomy (``EventKind``), the probing airtime budget
+(``ProbeBudget.charge``), and the perf-layer cache keys are contracts
+between subsystems: an unregistered event kind silently disappears from
+traces, an out-of-band budget charge corrupts the paper's overhead
+accounting (Fig. 18d), and an ``id()``/``repr()``-derived cache key
+aliases distinct arrays across processes.  RL201/RL202 are project-wide
+(they need the registry *and* every emission site); RL203/RL204 are
+per-file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro_lint.config import LintConfig
+from repro_lint.core import (
+    FileContext,
+    Finding,
+    dotted_name,
+    expanded_name,
+    path_in_scope,
+)
+
+RULES = {
+    "RL201": "every EventKind constant must be emitted somewhere",
+    "RL202": "every emission must use a registered EventKind",
+    "RL203": (
+        "ProbeBudget.charge() may only be called from the probing / "
+        "beam-maintenance layer"
+    ),
+    "RL204": (
+        "cache keys must be content-derived — no id()/repr() of arrays "
+        "in key construction"
+    ),
+}
+
+_EVENT_REGISTRY_CLASS = "EventKind"
+
+
+@dataclass
+class _KindConstant:
+    name: str
+    value: str
+    path: str
+    line: int
+    col: int
+
+
+@dataclass
+class _Emission:
+    """One ``recorder.emit(<kind>, ...)`` site."""
+
+    path: str
+    line: int
+    col: int
+    literal: Optional[str]  # emit("probe_tx", ...)
+    attribute: Optional[str]  # emit(EventKind.PROBE_TX, ...)
+
+
+@dataclass
+class ContractChecker:
+    """Accumulates the event registry and emission sites across files."""
+
+    constants: Dict[str, _KindConstant] = field(default_factory=dict)
+    emissions: List[_Emission] = field(default_factory=list)
+    #: findings deferred until we know whether a registry exists at all.
+    registry_seen: bool = False
+
+    # ------------------------------------------------------------------
+    # per-file pass
+
+    def check_file(self, ctx: FileContext, config: LintConfig) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and node.name == _EVENT_REGISTRY_CLASS:
+                self._collect_registry(ctx, node)
+            elif isinstance(node, ast.Call):
+                self._collect_emission(ctx, node)
+                findings.extend(self._check_charge(ctx, config, node))
+                findings.extend(self._check_cache_key(ctx, node))
+        return findings
+
+    def _collect_registry(self, ctx: FileContext, node: ast.ClassDef) -> None:
+        self.registry_seen = True
+        for statement in node.body:
+            if not isinstance(statement, ast.Assign):
+                continue
+            value = statement.value
+            if not (isinstance(value, ast.Constant) and isinstance(value.value, str)):
+                continue
+            for target in statement.targets:
+                if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                    self.constants[target.id] = _KindConstant(
+                        name=target.id,
+                        value=value.value,
+                        path=ctx.relpath,
+                        line=statement.lineno,
+                        col=statement.col_offset + 1,
+                    )
+
+    def _collect_emission(self, ctx: FileContext, node: ast.Call) -> None:
+        if not (isinstance(node.func, ast.Attribute) and node.func.attr == "emit"):
+            return
+        if not node.args:
+            return
+        kind = node.args[0]
+        literal: Optional[str] = None
+        attribute: Optional[str] = None
+        if isinstance(kind, ast.Constant) and isinstance(kind.value, str):
+            literal = kind.value
+        elif isinstance(kind, ast.Attribute):
+            text = dotted_name(kind) or ""
+            head, _, attr = text.rpartition(".")
+            if head.rsplit(".", 1)[-1] == _EVENT_REGISTRY_CLASS:
+                attribute = attr
+        self.emissions.append(
+            _Emission(
+                path=ctx.relpath,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                literal=literal,
+                attribute=attribute,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # RL203: probe-budget discipline
+
+    def _check_charge(
+        self, ctx: FileContext, config: LintConfig, node: ast.Call
+    ) -> List[Finding]:
+        if not (isinstance(node.func, ast.Attribute) and node.func.attr == "charge"):
+            return []
+        receiver = dotted_name(node.func.value) or ""
+        if "budget" not in receiver.lower():
+            return []
+        if path_in_scope(ctx.relpath, config.probe_charge_allowed):
+            return []
+        return [
+            ctx.finding(
+                node,
+                "RL203",
+                f"{receiver}.charge() outside the probing/maintenance "
+                "layer corrupts the probing-overhead accounting; charge "
+                "from the beam-management code that owns the budget",
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # RL204: content-derived cache keys
+
+    def _check_cache_key(self, ctx: FileContext, node: ast.Call) -> List[Finding]:
+        if not (
+            isinstance(node.func, ast.Name) and node.func.id in ("id", "repr")
+        ):
+            return []
+        if not self._in_key_context(ctx, node):
+            return []
+        return [
+            ctx.finding(
+                node,
+                "RL204",
+                f"{node.func.id}() in cache-key construction is not "
+                "content-derived (ids are reused, reprs truncate); hash "
+                "the contents, e.g. repro.perf.array_key",
+            )
+        ]
+
+    @staticmethod
+    def _in_key_context(ctx: FileContext, node: ast.Call) -> bool:
+        for ancestor in ctx.ancestors(node):
+            if isinstance(ancestor, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    ancestor.targets
+                    if isinstance(ancestor, ast.Assign)
+                    else [ancestor.target]
+                )
+                for target in targets:
+                    text = (dotted_name(target) or "").rsplit(".", 1)[-1]
+                    if "key" in text.lower():
+                        return True
+            elif isinstance(ancestor, ast.Call) and ancestor is not node:
+                name = expanded_name(ctx, ancestor.func) or ""
+                short = name.rsplit(".", 1)[-1].lower()
+                if "cache" in short or short in ("array_key", "get_or_build"):
+                    return True
+            elif isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if "key" in ancestor.name.lower():
+                    return True
+                break
+        return False
+
+    # ------------------------------------------------------------------
+    # project-wide finish
+
+    def finalize(
+        self, config: LintConfig, check_unused_kinds: bool = True
+    ) -> List[Finding]:
+        """Project findings.  ``check_unused_kinds`` should be False when
+        the scan covers only a subset of the tree (RL201 needs to see
+        every emission site to call a kind dead)."""
+        if not self.registry_seen or not self.constants:
+            # Nothing to validate against (e.g. linting a file subset
+            # that does not include the registry module).
+            return []
+        findings: List[Finding] = []
+        by_value = {constant.value: constant for constant in self.constants.values()}
+
+        emitted_values = set()
+        for emission in self.emissions:
+            if emission.literal is not None:
+                emitted_values.add(emission.literal)
+                if emission.literal not in by_value:
+                    findings.append(
+                        Finding(
+                            path=emission.path,
+                            line=emission.line,
+                            col=emission.col,
+                            rule="RL202",
+                            message=(
+                                f"emitted kind {emission.literal!r} is not "
+                                "registered on EventKind; register it so "
+                                "traces and filters can see it"
+                            ),
+                        )
+                    )
+            elif emission.attribute is not None:
+                constant = self.constants.get(emission.attribute)
+                if constant is None:
+                    findings.append(
+                        Finding(
+                            path=emission.path,
+                            line=emission.line,
+                            col=emission.col,
+                            rule="RL202",
+                            message=(
+                                f"EventKind.{emission.attribute} is not a "
+                                "registered EventKind constant"
+                            ),
+                        )
+                    )
+                else:
+                    emitted_values.add(constant.value)
+
+        if not check_unused_kinds:
+            return findings
+        for constant in self.constants.values():
+            if constant.value not in emitted_values:
+                findings.append(
+                    Finding(
+                        path=constant.path,
+                        line=constant.line,
+                        col=constant.col,
+                        rule="RL201",
+                        message=(
+                            f"EventKind.{constant.name} ({constant.value!r}) "
+                            "is never emitted; dead taxonomy entries hide "
+                            "instrumentation gaps"
+                        ),
+                    )
+                )
+        return findings

@@ -1,0 +1,247 @@
+"""RL4xx — module hygiene: dead imports, ``__all__``, import cycles.
+
+RL401/RL402 are per-file; RL403 builds the intra-``repro`` import graph
+across every scanned file and flags strongly-connected components.
+Function-local imports and ``if TYPE_CHECKING:`` imports are excluded
+from the graph: both are erased at runtime, and the repo uses them
+deliberately to break load-order cycles.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro_lint.config import LintConfig
+from repro_lint.core import FileContext, Finding, expanded_name, path_in_scope
+
+RULES = {
+    "RL401": "imported name is never used (dead import)",
+    "RL402": "public module must declare __all__",
+    "RL403": "import cycle between repro modules (module-level imports)",
+}
+
+
+def _declared_all(tree: ast.Module) -> Optional[Set[str]]:
+    """Names listed in a module-level ``__all__``, or None if absent."""
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                names: Set[str] = set()
+                value = node.value
+                if isinstance(value, (ast.List, ast.Tuple)):
+                    for element in value.elts:
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            names.add(element.value)
+                return names
+    return None
+
+
+def check(ctx: FileContext, config: LintConfig) -> List[Finding]:
+    findings: List[Finding] = []
+    findings.extend(_check_dead_imports(ctx))
+    findings.extend(_check_missing_all(ctx, config))
+    return findings
+
+
+def _check_dead_imports(ctx: FileContext) -> List[Finding]:
+    imported: Dict[str, ast.AST] = {}
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                imported[local] = node
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imported[alias.asname or alias.name] = node
+
+    used: Set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # Covers string annotations and doc examples conservatively:
+            # any imported name textually present in a string literal
+            # counts as used.
+            for name in imported:
+                if name in node.value:
+                    used.add(name)
+    exported = _declared_all(ctx.tree) or set()
+
+    findings: List[Finding] = []
+    for name, node in sorted(imported.items()):
+        if name.startswith("_") or name in used or name in exported:
+            continue
+        findings.append(
+            ctx.finding(
+                node,
+                "RL401",
+                f"imported name {name!r} is never used; delete it or "
+                "export it via __all__",
+            )
+        )
+    return findings
+
+
+def _check_missing_all(ctx: FileContext, config: LintConfig) -> List[Finding]:
+    if not config.require_all:
+        return []
+    if not path_in_scope(ctx.relpath, config.require_all):
+        return []
+    if _declared_all(ctx.tree) is not None:
+        return []
+    return [
+        Finding(
+            path=ctx.relpath,
+            line=1,
+            col=1,
+            rule="RL402",
+            message=(
+                "public module lacks __all__; declare the export surface "
+                "so dead-import and wildcard analysis stay sound"
+            ),
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
+# RL403 — import cycles
+
+
+@dataclass
+class ImportGraph:
+    """Module-level import edges between scanned ``repro`` modules."""
+
+    #: module name -> (imported module name -> first import line)
+    edges: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: module name -> file path (for findings)
+    files: Dict[str, str] = field(default_factory=dict)
+
+    def collect(self, ctx: FileContext) -> None:
+        module = ctx.module_name()
+        if module is None:
+            return
+        self.files[module] = ctx.relpath
+        targets = self.edges.setdefault(module, {})
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            if ctx.enclosing_function(node) is not None:
+                continue  # lazy import: a legal cycle-breaker
+            if _in_type_checking_block(ctx, node):
+                continue  # erased at runtime: annotations only
+            for name in _imported_modules(node):
+                if name.split(".")[0] != module.split(".")[0]:
+                    continue
+                if name != module:
+                    targets.setdefault(name, node.lineno)
+
+    def cycles(self) -> List[Tuple[str, ...]]:
+        """Strongly-connected components of size > 1 (Tarjan)."""
+        index: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        counter = [0]
+        components: List[Tuple[str, ...]] = []
+
+        # Only edges between scanned modules participate.
+        graph = {
+            module: sorted(t for t in targets if t in self.edges)
+            for module, targets in self.edges.items()
+        }
+
+        def strongconnect(module: str) -> None:
+            index[module] = lowlink[module] = counter[0]
+            counter[0] += 1
+            stack.append(module)
+            on_stack.add(module)
+            for target in graph.get(module, ()):
+                if target not in index:
+                    strongconnect(target)
+                    lowlink[module] = min(lowlink[module], lowlink[target])
+                elif target in on_stack:
+                    lowlink[module] = min(lowlink[module], index[target])
+            if lowlink[module] == index[module]:
+                component: List[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == module:
+                        break
+                if len(component) > 1:
+                    components.append(tuple(sorted(component)))
+
+        for module in sorted(graph):
+            if module not in index:
+                strongconnect(module)
+        return components
+
+    def finalize(self) -> List[Finding]:
+        findings: List[Finding] = []
+        for component in self.cycles():
+            anchor = component[0]
+            # Anchor the finding at the first in-cycle import of the
+            # lexicographically smallest member.
+            line = min(
+                (
+                    self.edges[anchor][target]
+                    for target in self.edges.get(anchor, {})
+                    if target in component
+                ),
+                default=1,
+            )
+            findings.append(
+                Finding(
+                    path=self.files[anchor],
+                    line=line,
+                    col=1,
+                    rule="RL403",
+                    message=(
+                        "import cycle: " + " -> ".join(component + (anchor,))
+                        + "; break it with a function-local import or by "
+                        "moving the shared piece down a layer"
+                    ),
+                )
+            )
+        return findings
+
+
+def _in_type_checking_block(ctx: FileContext, node: ast.AST) -> bool:
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, ast.If):
+            name = expanded_name(ctx, ancestor.test)
+            if name in ("TYPE_CHECKING", "typing.TYPE_CHECKING"):
+                return True
+    return False
+
+
+def _imported_modules(node: ast.AST) -> List[str]:
+    if isinstance(node, ast.Import):
+        return [alias.name for alias in node.names]
+    if isinstance(node, ast.ImportFrom) and node.module and not node.level:
+        # ``from repro.channel.paths import Path`` targets the module
+        # itself; ``from repro.channel import paths`` may target either a
+        # submodule or an attribute — record both candidates, the graph
+        # keeps only names that resolve to scanned modules.
+        return [node.module] + [
+            f"{node.module}.{alias.name}"
+            for alias in node.names
+            if alias.name != "*"
+        ]
+    return []
