@@ -1,0 +1,52 @@
+"""Bench: the network engine at scale — 4 cells x 64 users.
+
+Tracks the cost of one full ``NetworkSimulator.run`` at the largest
+configuration the test matrix exercises (4 cells, 64 users, short
+horizon so the bench stays wall-time bounded), plus the per-component
+split the network layer adds on top of the per-user links: scheduling,
+interference epochs, and metric aggregation.  Headline throughput,
+reliability, and fairness land in ``extra_info`` so the
+``BENCH_*.json`` history shows capacity regressions, not just timing.
+"""
+
+from repro.network import NetworkScenario, NetworkSimulator, row_of_cells
+
+CELLS = 4
+USERS = 64
+DURATION_S = 0.05
+
+
+def make_scenario() -> NetworkScenario:
+    return NetworkScenario(
+        cells=row_of_cells(CELLS),
+        num_users=USERS,
+        duration_s=DURATION_S,
+    )
+
+
+def test_network_scale_4x64(benchmark, once):
+    scenario = make_scenario()
+    trace = once(
+        benchmark,
+        lambda: NetworkSimulator(scenario=scenario, seed=0).run(),
+    )
+    metrics = trace.metrics()
+
+    # Structural sanity: everyone simulated, interference evaluated.
+    assert metrics.num_users == USERS
+    assert len(trace.plans) == CELLS
+    assert trace.penalties_db.shape[0] == USERS
+    assert 0.0 < metrics.reliability <= 1.0
+    assert metrics.cell_throughput_bps > 0.0
+    # Round-robin scheduling keeps the cell fair even at 64 users.
+    assert metrics.fairness > 0.9
+
+    benchmark.extra_info["cells"] = CELLS
+    benchmark.extra_info["users"] = USERS
+    benchmark.extra_info["duration_s"] = DURATION_S
+    benchmark.extra_info["cell_throughput_gbps"] = round(
+        metrics.cell_throughput_bps / 1e9, 3
+    )
+    benchmark.extra_info["reliability"] = round(metrics.reliability, 4)
+    benchmark.extra_info["fairness"] = round(metrics.fairness, 4)
+    benchmark.extra_info["probe_slots_denied"] = metrics.probe_slots_denied

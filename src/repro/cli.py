@@ -10,6 +10,8 @@ Usage::
     python -m repro trace fig16.jsonl --kind blockage_onset
     python -m repro run fig18 --fault probe_loss:0.1 --trace chaos.jsonl
     python -m repro run fault_tolerance --faults faults.json
+    python -m repro run --scenario quad-cell --seeds 8 --workers 4
+    python -m repro run network_scale --scenario my_network.json
     python -m repro lint src --check-baseline
 
 ``--workers`` fans ensemble seed-runs out over the parallel executor,
@@ -51,7 +53,22 @@ def build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument(
         "experiment",
-        help="experiment id from 'repro list', or 'all'",
+        nargs="?",
+        default=None,
+        help=(
+            "experiment id from 'repro list', or 'all' (optional when "
+            "--scenario is given: defaults to network_scale)"
+        ),
+    )
+    run.add_argument(
+        "--scenario",
+        dest="scenario",
+        default=None,
+        metavar="NAME_OR_PATH",
+        help=(
+            "scenario spec: a registered name (see repro.sim.spec) or a "
+            "JSON file with ScenarioSpec fields"
+        ),
     )
     run.add_argument(
         "--workers",
@@ -243,15 +260,31 @@ def command_lint(lint_args: List[str], out=None) -> int:
 
 
 def command_run(
-    identifier: str,
+    identifier: Optional[str],
     workers: int = 1,
     seeds: Optional[int] = None,
     json_path: Optional[str] = None,
     trace_path: Optional[str] = None,
     fault_args: Optional[List[str]] = None,
     faults_path: Optional[str] = None,
+    scenario: Optional[str] = None,
     out=sys.stdout,
 ) -> int:
+    scenario_spec = None
+    if scenario is not None:
+        from repro.sim.spec import load_scenario_spec
+
+        try:
+            scenario_spec = load_scenario_spec(scenario)
+        except (KeyError, OSError, ValueError, TypeError) as error:
+            message = error.args[0] if error.args else error
+            out.write(f"error: --scenario {scenario!r}: {message}\n")
+            return 2
+        if identifier is None:
+            identifier = "network_scale"
+    if identifier is None:
+        out.write("error: an experiment id (or --scenario) is required\n")
+        return 2
     if identifier == "all":
         identifiers: List[str] = list(REGISTRY)
     else:
@@ -265,6 +298,7 @@ def command_run(
             workers=workers,
             telemetry=trace_path is not None,
             faults=faults,
+            scenario=scenario_spec,
         )
     except ValueError as error:
         out.write(f"error: {error}\n")
@@ -369,6 +403,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace_path=arguments.trace_path,
             fault_args=arguments.faults,
             faults_path=arguments.faults_path,
+            scenario=arguments.scenario,
         )
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; not an error.

@@ -16,10 +16,12 @@ compatible one-shot entry point.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.faults import FaultSpec
+from repro.sim.spec import ScenarioSpec
 from repro.telemetry import (
     TelemetryRecorder,
     TelemetrySummary,
@@ -39,13 +41,17 @@ class ExperimentConfig:
     metrics during the run and attaches a
     :class:`~repro.telemetry.TelemetrySummary` to the result.
     ``faults`` injects a chaos campaign (CLI ``--fault`` / ``--faults``)
-    into every ensemble the experiment runs.
+    into every ensemble the experiment runs.  ``scenario`` (CLI
+    ``--scenario``) carries a :class:`~repro.sim.spec.ScenarioSpec` for
+    scenario-driven experiments (``network_scale``); experiments without
+    a scenario knob ignore it.
     """
 
     seeds: Optional[int] = None
     workers: int = 1
     telemetry: bool = False
     faults: Tuple[FaultSpec, ...] = ()
+    scenario: Optional[ScenarioSpec] = None
 
     def __post_init__(self) -> None:
         if self.seeds is not None and self.seeds < 1:
@@ -59,6 +65,12 @@ class ExperimentConfig:
                     f"faults must be FaultSpec instances, got {spec!r}"
                 )
         object.__setattr__(self, "faults", faults)
+        if self.scenario is not None and not isinstance(
+            self.scenario, ScenarioSpec
+        ):
+            raise TypeError(
+                f"scenario must be a ScenarioSpec, got {self.scenario!r}"
+            )
 
     def seed_range(self, default: int) -> range:
         """The seed range to use, honouring the override."""
@@ -130,7 +142,17 @@ class Experiment:
         return self.renderer(data)
 
     def run_report(self, config: Optional[ExperimentConfig] = None) -> str:
-        """Backwards-compatible one-shot: run then render."""
+        """Deprecated one-shot: run then render.
+
+        ``run(config) -> ExperimentResult`` is the sole run entry point;
+        pass its result to :meth:`render` for the printable report.
+        """
+        warnings.warn(
+            "Experiment.run_report() is deprecated; use "
+            "run(config) -> ExperimentResult and render(result) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.render(self.run(config))
 
 
@@ -330,6 +352,29 @@ def _fault_tolerance_render(data: Dict[str, Any]) -> str:
     return m.report(data["sweep"])
 
 
+def _network_scale_run(config: ExperimentConfig) -> Dict[str, Any]:
+    from repro.experiments import network_scale as m
+
+    kwargs: Dict[str, Any] = {}
+    if config.scenario is not None:
+        kwargs["spec"] = config.scenario
+        if config.scenario.users > 1:
+            # A pinned user count replaces the default sweep.
+            kwargs["user_counts"] = (config.scenario.users,)
+    return {
+        "scaling": m.run_user_scaling(
+            seeds=config.seed_range(4), workers=config.workers,
+            faults=config.faults, **kwargs,
+        )
+    }
+
+
+def _network_scale_render(data: Dict[str, Any]) -> str:
+    from repro.experiments import network_scale as m
+
+    return m.report(data["scaling"])
+
+
 def _ablations_run(config: ExperimentConfig) -> Dict[str, Any]:
     from repro.experiments import ablations as m
 
@@ -409,6 +454,11 @@ REGISTRY: Dict[str, Experiment] = {
             "fault_tolerance",
             "reliability vs injected fault rate (chaos sweep)",
             _fault_tolerance_run, _fault_tolerance_render,
+        ),
+        Experiment(
+            "network_scale",
+            "network-scale multi-user throughput/reliability CDFs",
+            _network_scale_run, _network_scale_render,
         ),
         Experiment(
             "ablations", "design-choice ablations",

@@ -16,8 +16,10 @@ injector per run from ``EnsembleSpec.faults``.
 
 from repro.faults.injector import (
     FaultInjector,
+    FaultTarget,
     InjectedWorkerCrash,
     install_fault_injector,
+    wire_manager_faults,
 )
 from repro.faults.spec import (
     CHAOS_KINDS,
@@ -34,8 +36,10 @@ __all__ = [
     "FaultInjector",
     "FaultKind",
     "FaultSpec",
+    "FaultTarget",
     "InjectedWorkerCrash",
     "install_fault_injector",
     "load_fault_specs",
     "parse_fault",
+    "wire_manager_faults",
 ]

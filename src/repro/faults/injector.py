@@ -15,15 +15,29 @@ changes.  Chaos kinds (worker crash, slow run) draw once per run
 recover from injected crashes.
 
 Consumers stay decoupled: the sounder and the maintenance manager expose
-an optional ``fault_injector`` attribute, and
-:func:`install_fault_injector` wires one injector into whichever hooks a
+an optional ``fault_injector`` attribute, and simulators that accept
+chaos implement the :class:`FaultTarget` protocol — a single typed
+``install_fault_injector`` method.  :func:`wire_manager_faults` is the
+shared wiring helper that attaches an injector to whichever hooks a
 manager actually has (baseline managers without the attribute simply get
-probe-level faults through their sounder).
+probe-level faults through their sounder).  The historical module-level
+:func:`install_fault_injector` survives as a deprecated alias of the
+helper.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import warnings
+from typing import (
+    Any,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 import numpy as np
 import numpy.typing as npt
@@ -221,12 +235,30 @@ class FaultInjector:
         return self._chaos_draws()[1]
 
 
-def install_fault_injector(manager: Any, injector: FaultInjector) -> Any:
-    """Wire one injector into a manager's fault hooks, duck-typed.
+@runtime_checkable
+class FaultTarget(Protocol):
+    """Anything chaos can be installed on — simulators, link or network.
+
+    The executor wires an injector into whatever it is about to run via
+    this single typed method, instead of reaching into the object's
+    manager/sounder attributes.  :class:`repro.sim.link.LinkSimulator`
+    implements it by wiring its one manager;
+    :class:`repro.network.simulator.NetworkSimulator` fans the same
+    injector out to every per-user manager.
+    """
+
+    def install_fault_injector(self, injector: FaultInjector) -> None:
+        """Attach ``injector`` to every fault hook this target owns."""
+        ...  # pragma: no cover - protocol
+
+
+def wire_manager_faults(manager: Any, injector: FaultInjector) -> Any:
+    """Wire one injector into a beam manager's fault hooks.
 
     Probe-level faults ride the sounder (every manager kind has one);
     control-plane hooks only attach when the manager exposes a
-    ``fault_injector`` attribute (baselines simply don't).
+    ``fault_injector`` attribute (baselines simply don't).  This is the
+    shared implementation behind every :class:`FaultTarget`.
     """
     sounder = getattr(manager, "sounder", None)
     if sounder is not None and hasattr(sounder, "fault_injector"):
@@ -234,3 +266,20 @@ def install_fault_injector(manager: Any, injector: FaultInjector) -> Any:
     if hasattr(manager, "fault_injector"):
         manager.fault_injector = injector
     return manager
+
+
+def install_fault_injector(manager: Any, injector: FaultInjector) -> Any:
+    """Deprecated alias of :func:`wire_manager_faults`.
+
+    Simulators now implement the typed :class:`FaultTarget` protocol;
+    call ``simulator.install_fault_injector(injector)`` (or
+    :func:`wire_manager_faults` for a bare manager) instead.
+    """
+    warnings.warn(
+        "install_fault_injector(manager, injector) is deprecated; use the "
+        "FaultTarget protocol (simulator.install_fault_injector) or "
+        "wire_manager_faults for a bare manager",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return wire_manager_faults(manager, injector)

@@ -1,0 +1,40 @@
+"""Network-scale simulation: N base stations x M users.
+
+Generalizes the single-link engine (:mod:`repro.sim`) to a multi-cell,
+multi-user network while reusing its scenario, executor, telemetry, and
+fault machinery unchanged.  See ``DESIGN.md`` ("Network engine") for the
+layering.
+"""
+
+from repro.network.interference import InterferenceModel, apply_penalty_db
+from repro.network.scenario import CellConfig, NetworkScenario, row_of_cells
+from repro.network.scheduler import (
+    CellSlotPlan,
+    SlotScheduler,
+    jain_fairness_index,
+)
+from repro.network.simulator import (
+    NetworkRunMetrics,
+    NetworkSimulator,
+    NetworkTrace,
+    NetworkUserMetrics,
+    build_network_simulator,
+)
+from repro.network.state import UserBatch
+
+__all__ = [
+    "CellConfig",
+    "CellSlotPlan",
+    "InterferenceModel",
+    "NetworkRunMetrics",
+    "NetworkScenario",
+    "NetworkSimulator",
+    "NetworkTrace",
+    "NetworkUserMetrics",
+    "SlotScheduler",
+    "UserBatch",
+    "apply_penalty_db",
+    "build_network_simulator",
+    "jain_fairness_index",
+    "row_of_cells",
+]

@@ -1,0 +1,148 @@
+"""Columnar per-user network state.
+
+The network engine keeps per-user state as columns in batched arrays —
+the same struct-of-arrays discipline as
+:class:`repro.channel.batch.ChannelBatch` — instead of a Python object
+per user.  One :class:`UserBatch` carries every geometric fact the
+scheduler and the interference model need (positions, serving cells,
+distances and bearing angles to *every* cell) as ``(U,)`` / ``(U, C)``
+tensors, so scaling the user count scales numpy work, not Python work.
+
+All angles are expressed relative to each cell's boresight (the frame
+:mod:`repro.arrays` steering math uses); distances are metres in the
+shared 2-D world frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "UserBatch",
+]
+
+
+@dataclass(frozen=True)
+class UserBatch:
+    """Per-user network-state columns for ``U`` users over ``C`` cells.
+
+    Parameters
+    ----------
+    positions_m:
+        User positions in the world frame, shape ``(U, 2)``.
+    serving_cell:
+        Index of each user's serving cell, shape ``(U,)``.
+    distances_m:
+        Distance from every cell to every user, shape ``(U, C)``.
+    angles_rad:
+        Bearing of each user seen from each cell, *relative to that
+        cell's boresight*, shape ``(U, C)`` — directly usable as a
+        steering angle for that cell's array.
+    arrivals_s:
+        Simulation time at which each user attaches, shape ``(U,)``.
+    """
+
+    positions_m: np.ndarray
+    serving_cell: np.ndarray
+    distances_m: np.ndarray
+    angles_rad: np.ndarray
+    arrivals_s: np.ndarray
+
+    def __post_init__(self) -> None:
+        positions = np.asarray(self.positions_m, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError(
+                f"positions_m must have shape (U, 2), got {positions.shape}"
+            )
+        object.__setattr__(self, "positions_m", positions)
+        users = positions.shape[0]
+        serving = np.asarray(self.serving_cell, dtype=int)
+        if serving.shape != (users,):
+            raise ValueError(
+                f"serving_cell must have shape ({users},), got {serving.shape}"
+            )
+        object.__setattr__(self, "serving_cell", serving)
+        distances = np.asarray(self.distances_m, dtype=float)
+        angles = np.asarray(self.angles_rad, dtype=float)
+        if distances.ndim != 2 or distances.shape[0] != users:
+            raise ValueError(
+                f"distances_m must have shape (U, C) with U={users}, "
+                f"got {distances.shape}"
+            )
+        if angles.shape != distances.shape:
+            raise ValueError(
+                f"angles_rad shape {angles.shape} does not match "
+                f"distances_m shape {distances.shape}"
+            )
+        object.__setattr__(self, "distances_m", distances)
+        object.__setattr__(self, "angles_rad", angles)
+        cells = distances.shape[1]
+        if np.any((serving < 0) | (serving >= cells)):
+            raise ValueError("serving_cell indices out of range")
+        arrivals = np.asarray(self.arrivals_s, dtype=float)
+        if arrivals.shape != (users,):
+            raise ValueError(
+                f"arrivals_s must have shape ({users},), got {arrivals.shape}"
+            )
+        if np.any(arrivals < 0.0):
+            raise ValueError("arrivals_s must be non-negative")
+        object.__setattr__(self, "arrivals_s", arrivals)
+
+    @property
+    def num_users(self) -> int:
+        return int(self.positions_m.shape[0])
+
+    @property
+    def num_cells(self) -> int:
+        return int(self.distances_m.shape[1])
+
+    def attached(self, cell_index: int) -> np.ndarray:
+        """User indices served by ``cell_index``, ascending."""
+        return np.flatnonzero(self.serving_cell == int(cell_index))
+
+    def serving_distance_m(self, user_index: int) -> float:
+        """Distance from user ``user_index`` to its serving cell."""
+        return float(
+            self.distances_m[user_index, self.serving_cell[user_index]]
+        )
+
+    def serving_angle_rad(self, user_index: int) -> float:
+        """Boresight-relative bearing from the serving cell to the user."""
+        return float(
+            self.angles_rad[user_index, self.serving_cell[user_index]]
+        )
+
+    @classmethod
+    def from_geometry(
+        cls,
+        positions_m: np.ndarray,
+        cell_positions_m: np.ndarray,
+        cell_boresights_rad: np.ndarray,
+        arrivals_s: np.ndarray = None,
+    ) -> "UserBatch":
+        """Derive the distance/angle columns from raw positions.
+
+        ``serving_cell`` is nearest-cell attachment; everything is
+        computed with one vectorized pass over the ``(U, C)`` geometry.
+        """
+        positions = np.asarray(positions_m, dtype=float)
+        cells = np.asarray(cell_positions_m, dtype=float)
+        boresights = np.asarray(cell_boresights_rad, dtype=float)
+        deltas = positions[:, None, :] - cells[None, :, :]  # (U, C, 2)
+        distances = np.hypot(deltas[:, :, 0], deltas[:, :, 1])
+        world_angles = np.arctan2(deltas[:, :, 1], deltas[:, :, 0])
+        angles = world_angles - boresights[None, :]
+        # Wrap into (-pi, pi] so steering angles stay in the visible region.
+        angles = np.arctan2(np.sin(angles), np.cos(angles))
+        serving = np.argmin(distances, axis=1)
+        if arrivals_s is None:
+            arrivals_s = np.zeros(positions.shape[0])
+        return cls(
+            positions_m=positions,
+            serving_cell=serving,
+            distances_m=distances,
+            angles_rad=angles,
+            arrivals_s=arrivals_s,
+        )

@@ -33,6 +33,13 @@ from repro.sim.executor import (
     parallel_map,
 )
 from repro.sim.runner import run_ensemble
+from repro.sim.spec import (
+    ScenarioSpec,
+    available_scenarios,
+    get_scenario_spec,
+    load_scenario_spec,
+    register_scenario_spec,
+)
 from repro.sim.export import (
     trace_to_csv,
     metrics_to_csv,
@@ -59,6 +66,11 @@ __all__ = [
     "LinkSimulator",
     "SimulationTrace",
     "run_ensemble",
+    "ScenarioSpec",
+    "available_scenarios",
+    "get_scenario_spec",
+    "load_scenario_spec",
+    "register_scenario_spec",
     "execute_ensemble",
     "parallel_map",
     "EnsembleError",

@@ -38,8 +38,8 @@ import numpy as np
 from repro.faults import (
     FaultInjector,
     FaultSpec,
+    FaultTarget,
     InjectedWorkerCrash,
-    install_fault_injector,
 )
 from repro.sim.link import LinkSimulator
 from repro.sim.metrics import LinkMetrics
@@ -232,12 +232,19 @@ class EnsembleSpec:
     picklable (module-level functions or :func:`functools.partial` over
     them); non-picklable factories fall back to the serial path with a
     warning.
+
+    Instead of the (scenario, manager) factory pair, a spec may carry a
+    ``simulator_factory`` building a whole simulator from the seed —
+    anything whose ``run()`` returns a trace with a ``metrics()`` method
+    and which implements the :class:`repro.faults.FaultTarget` protocol.
+    This is how :class:`repro.network.simulator.NetworkSimulator`
+    ensembles reuse the executor unchanged.
     """
 
     label: str
-    scenario_factory: Callable[[int], object]
-    manager_factory: Callable[[int], object]
-    seeds: Tuple[int, ...]
+    scenario_factory: Optional[Callable[[int], object]] = None
+    manager_factory: Optional[Callable[[int], object]] = None
+    seeds: Tuple[int, ...] = ()
     duration_s: float = 1.0
     sample_period_s: float = 1e-3
     maintenance_period_s: float = 5e-3
@@ -262,6 +269,10 @@ class EnsembleSpec:
     #: attempt)``).  Empty means no injector at all; all-zero rates are
     #: bitwise identical to that.
     faults: Tuple[FaultSpec, ...] = ()
+    #: Build a complete simulator (a :class:`repro.faults.FaultTarget`
+    #: with ``run()``) from the seed, instead of the link-simulator
+    #: (scenario, manager) pair.  Mutually exclusive with the factories.
+    simulator_factory: Optional[Callable[[int], object]] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -269,6 +280,20 @@ class EnsembleSpec:
         )
         if not self.seeds:
             raise ValueError("need at least one seed")
+        if self.simulator_factory is not None:
+            if (
+                self.scenario_factory is not None
+                or self.manager_factory is not None
+            ):
+                raise ValueError(
+                    "simulator_factory is mutually exclusive with the "
+                    "scenario_factory/manager_factory pair"
+                )
+        elif self.scenario_factory is None or self.manager_factory is None:
+            raise ValueError(
+                "need either simulator_factory or both scenario_factory "
+                "and manager_factory"
+            )
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers!r}")
         if not 0.0 <= self.max_failure_fraction <= 1.0:
@@ -336,8 +361,8 @@ def _run_one_seed(payload: tuple) -> tuple:
     injected worker crash) applies before the simulation, and the
     injector is installed on the manager/sounder for in-run faults.
     """
-    (seed, label, scenario_factory, manager_factory, duration_s,
-     sample_period_s, maintenance_period_s, collect_telemetry,
+    (seed, label, scenario_factory, manager_factory, simulator_factory,
+     duration_s, sample_period_s, maintenance_period_s, collect_telemetry,
      faults, attempt) = payload
     started = time.perf_counter()
     recorder = (
@@ -362,15 +387,19 @@ def _run_one_seed(payload: tuple) -> tuple:
                     f"injected worker crash (seed {int(seed)}, "
                     f"attempt {int(attempt)})"
                 )
-        simulator = LinkSimulator(
-            scenario=scenario_factory(int(seed)),
-            manager=manager_factory(int(seed)),
-            duration_s=duration_s,
-            sample_period_s=sample_period_s,
-            maintenance_period_s=maintenance_period_s,
-        )
+        simulator: FaultTarget
+        if simulator_factory is not None:
+            simulator = simulator_factory(int(seed))
+        else:
+            simulator = LinkSimulator(
+                scenario=scenario_factory(int(seed)),
+                manager=manager_factory(int(seed)),
+                duration_s=duration_s,
+                sample_period_s=sample_period_s,
+                maintenance_period_s=maintenance_period_s,
+            )
         if injector is not None:
-            install_fault_injector(simulator.manager, injector)
+            simulator.install_fault_injector(injector)
         metrics = simulator.run().metrics()
     except Exception as error:  # per-seed fault tolerance
         return (
@@ -404,7 +433,9 @@ def _run_one_seed(payload: tuple) -> tuple:
 def _resolve_backend(spec: EnsembleSpec) -> str:
     if spec.workers <= 1 or len(spec.seeds) <= 1:
         return "serial"
-    if not _is_picklable((spec.scenario_factory, spec.manager_factory)):
+    if not _is_picklable(
+        (spec.scenario_factory, spec.manager_factory, spec.simulator_factory)
+    ):
         warnings.warn(
             f"ensemble {spec.label!r}: factories are not picklable "
             "(closures/lambdas?); falling back to serial execution. "
@@ -425,6 +456,7 @@ def _make_payload(
         spec.label,
         spec.scenario_factory,
         spec.manager_factory,
+        spec.simulator_factory,
         spec.duration_s,
         spec.sample_period_s,
         spec.maintenance_period_s,

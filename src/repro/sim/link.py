@@ -107,6 +107,17 @@ class LinkSimulator:
                 "maintenance_period_s must be >= sample_period_s"
             )
 
+    def install_fault_injector(self, injector) -> None:
+        """Wire a :class:`repro.faults.FaultInjector` into this link.
+
+        Implements the :class:`repro.faults.FaultTarget` protocol: probe
+        faults attach to the manager's sounder, control-plane faults to
+        the manager itself when it exposes the hook.
+        """
+        from repro.faults import wire_manager_faults
+
+        wire_manager_faults(self.manager, injector)
+
     def run(self) -> SimulationTrace:
         """Establish at t=0, then sample and maintain until the horizon.
 

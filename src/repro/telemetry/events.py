@@ -60,6 +60,13 @@ class EventKind:
     RUN_RETRY = "run_retry"
     #: Synthetic trailer event folding perf counters into a trace (CLI).
     PERF_COUNTERS = "perf_counters"
+    #: A cell's slot plan was drawn up (network engine, per cell).
+    SLOT_SCHEDULED = "slot_scheduled"
+    #: Inter-cell interference was recomputed at an epoch boundary.
+    INTERFERENCE_UPDATE = "interference_update"
+    #: A user attached to / detached from a serving cell.
+    USER_ATTACH = "user_attach"
+    USER_DETACH = "user_detach"
 
     @classmethod
     def all(cls) -> Tuple[str, ...]:

@@ -18,7 +18,7 @@ from repro.arrays import UniformLinearArray
 from repro.core.probing import ProbeController, two_probe_ratio
 from repro.experiments.common import make_manager
 from repro.experiments.fig18_end2end import _mobile_scenario
-from repro.faults import FaultInjector, FaultSpec, install_fault_injector
+from repro.faults import FaultInjector, FaultSpec, wire_manager_faults
 from repro.phy.ofdm import ChannelSounder, OfdmConfig
 from repro.sim.executor import EnsembleSpec, execute_ensemble
 from repro.sim.link import LinkSimulator
@@ -124,7 +124,7 @@ class TestMaintenanceDegradation:
             seed, speed_mps=1.5, blockage_depth_db=30.0, distance_m=25.0
         )
         manager = make_manager("mmreliable", seed)
-        install_fault_injector(
+        wire_manager_faults(
             manager, FaultInjector(seed=seed, specs=faults)
         )
         manager.establish(scenario.channel_at(0.0), time_s=0.0)

@@ -8,7 +8,7 @@ from repro.faults import (
     FaultKind,
     FaultSpec,
     InjectedWorkerCrash,
-    install_fault_injector,
+    wire_manager_faults,
 )
 
 
@@ -240,7 +240,7 @@ class TestInstall:
 
         manager = make_manager("mmreliable", seed=0)
         injector = make_injector(FaultSpec(kind="probe_loss", rate=0.5))
-        install_fault_injector(manager, injector)
+        wire_manager_faults(manager, injector)
         assert manager.sounder.fault_injector is injector
         assert manager.fault_injector is injector
 
@@ -249,5 +249,38 @@ class TestInstall:
 
         manager = make_manager("oracle", seed=0)
         injector = make_injector(FaultSpec(kind="probe_loss", rate=0.5))
-        install_fault_injector(manager, injector)  # must not raise
+        wire_manager_faults(manager, injector)  # must not raise
+        assert manager.sounder.fault_injector is injector
+
+    def test_link_simulator_is_a_fault_target(self):
+        from repro.experiments.common import make_manager
+        from repro.faults import FaultTarget
+        from repro.sim.link import LinkSimulator
+        from repro.sim.scenarios import indoor_two_path_scenario
+
+        manager = make_manager("mmreliable", seed=0)
+        simulator = LinkSimulator(
+            scenario=indoor_two_path_scenario(manager.array),
+            manager=manager,
+        )
+        assert isinstance(simulator, FaultTarget)
+        injector = make_injector(FaultSpec(kind="probe_loss", rate=0.5))
+        simulator.install_fault_injector(injector)
+        assert manager.sounder.fault_injector is injector
+        assert manager.fault_injector is injector
+
+    def test_legacy_module_function_warns_and_still_wires(self):
+        import warnings
+
+        from repro.experiments.common import make_manager
+        from repro.faults import install_fault_injector
+
+        manager = make_manager("mmreliable", seed=0)
+        injector = make_injector(FaultSpec(kind="probe_loss", rate=0.5))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            install_fault_injector(manager, injector)
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
         assert manager.sounder.fault_injector is injector

@@ -85,9 +85,11 @@ class TestStructuredExperimentApi:
         assert experiment.render(result) == experiment.render(result.data)
         assert "1 - beta^k" in experiment.render(result)
 
-    def test_run_report_still_composes(self):
+    def test_run_report_composes_but_is_deprecated(self):
         experiment = get_experiment("reliability")
-        assert "1 - beta^k" in experiment.run_report()
+        with pytest.warns(DeprecationWarning, match="run_report"):
+            report = experiment.run_report()
+        assert "1 - beta^k" in report
 
     def test_config_validation(self):
         from repro.experiments.registry import ExperimentConfig
@@ -126,13 +128,57 @@ class TestCliStructuredFlags:
         parsed = json.loads(target.read_text())
         assert parsed["identifier"] == "reliability"
         assert parsed["config"] == {
-            "seeds": None, "workers": 1, "telemetry": False, "faults": []
+            "seeds": None, "workers": 1, "telemetry": False,
+            "faults": [], "scenario": None,
         }
         assert "analytic" in parsed["data"]
 
     def test_run_rejects_bad_workers(self):
         out = io.StringIO()
         assert command_run("reliability", workers=0, out=out) == 2
+        assert "error" in out.getvalue()
+
+
+class TestCliScenarioFlag:
+    def test_parser_accepts_scenario(self):
+        arguments = build_parser().parse_args(
+            ["run", "--scenario", "network-smoke"]
+        )
+        assert arguments.experiment is None
+        assert arguments.scenario == "network-smoke"
+
+    def test_scenario_defaults_to_network_scale(self):
+        out = io.StringIO()
+        status = command_run(None, scenario="network-smoke", out=out)
+        assert status == 0
+        text = out.getvalue()
+        assert "network-scale" in text
+        assert "completed in" in text
+
+    def test_unknown_scenario_exits_2(self):
+        out = io.StringIO()
+        status = command_run(None, scenario="no-such-scenario", out=out)
+        assert status == 2
+        assert "error" in out.getvalue()
+
+    def test_scenario_from_json_file(self, tmp_path):
+        import json
+
+        from repro.sim.spec import ScenarioSpec
+
+        spec = ScenarioSpec(
+            name="cli-file", cells=2, users=2, duration_s=0.05
+        )
+        path = tmp_path / "cli-file.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        out = io.StringIO()
+        status = command_run(None, scenario=str(path), out=out)
+        assert status == 0
+        assert "network-scale" in out.getvalue()
+
+    def test_no_experiment_and_no_scenario_exits_2(self):
+        out = io.StringIO()
+        assert command_run(None, out=out) == 2
         assert "error" in out.getvalue()
 
 
