@@ -13,6 +13,9 @@ Usage::
     python -m repro run --scenario quad-cell --seeds 8 --workers 4
     python -m repro run network_scale --scenario my_network.json
     python -m repro lint src --check-baseline
+    python -m repro serve --port 7753 --journal jobs.jsonl
+    python -m repro submit --port 7753 fig14 --wait
+    python -m repro jobs --port 7753
 
 ``--workers`` fans ensemble seed-runs out over the parallel executor,
 ``--seeds`` overrides the Monte-Carlo seed count for ensemble-backed
@@ -26,6 +29,12 @@ deterministic faults (see :mod:`repro.faults`) into ensemble-backed
 experiments.  ``repro lint`` runs the project's domain-aware static
 analyzer (RNG discipline, dB/linear unit hygiene, telemetry contracts,
 purity — see :mod:`tools/repro_lint`) from any source checkout.
+``repro serve`` starts the fault-tolerant async job server
+(:mod:`repro.serve`): a persistent journal, retries with backoff,
+request coalescing, and priority-aware load shedding.  ``repro submit``
+sends one job to a running server (optionally streaming progress until
+it finishes) and ``repro jobs`` inspects server stats or one job's
+status.
 """
 
 from __future__ import annotations
@@ -125,6 +134,108 @@ def build_parser() -> argparse.ArgumentParser:
         nargs=argparse.REMAINDER,
         metavar="...",
         help="arguments forwarded to repro-lint (e.g. src --check-baseline)",
+    )
+    serve = commands.add_parser(
+        "serve", help="start the fault-tolerant async job server"
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=7753,
+        help="TCP port; 0 binds an ephemeral port (default: 7753)",
+    )
+    serve.add_argument(
+        "--journal", default="repro-jobs.jsonl", metavar="PATH",
+        help="persistent job journal (replayed on restart)",
+    )
+    serve.add_argument(
+        "--job-workers", type=int, default=2, metavar="N",
+        help="concurrent job executions (default: 2)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64, metavar="N",
+        help="bounded queue size for admission control (default: 64)",
+    )
+    serve.add_argument(
+        "--shed-threshold", type=float, default=0.75, metavar="F",
+        help="occupancy fraction at which soft shedding starts (default: 0.75)",
+    )
+    serve.add_argument(
+        "--max-retries", type=int, default=3, metavar="N",
+        help="job-level retry budget (default: 3)",
+    )
+    serve.add_argument(
+        "--backoff-s", type=float, default=0.05, metavar="S",
+        help="base retry backoff in seconds (default: 0.05)",
+    )
+    serve.add_argument(
+        "--deadline-s", type=float, default=None, metavar="S",
+        help="default per-job serving deadline in seconds",
+    )
+    serve.add_argument(
+        "--ready-file", default=None, metavar="PATH",
+        help="write host:port to PATH once the socket is bound",
+    )
+    serve.add_argument(
+        "--no-sync", action="store_true",
+        help="skip fsync on journal appends (benchmarks only)",
+    )
+    submit = commands.add_parser(
+        "submit", help="submit one job to a running job server"
+    )
+    submit.add_argument(
+        "experiment", nargs="?", default=None,
+        help="experiment id to run (omit for an executor micro ensemble)",
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=7753)
+    submit.add_argument(
+        "--scenario", default=None, metavar="NAME_OR_PATH",
+        help="scenario spec name or JSON file (as for 'repro run')",
+    )
+    submit.add_argument("--seeds", type=int, default=None, metavar="N")
+    submit.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="ensemble executor width inside the job (default: 1)",
+    )
+    submit.add_argument(
+        "--fault", dest="faults", action="append", default=None,
+        metavar="KIND:RATE", help="inject a fault into the job (repeatable)",
+    )
+    submit.add_argument(
+        "--faults", dest="faults_path", default=None, metavar="PATH",
+        help="load fault specs from a JSON file",
+    )
+    submit.add_argument(
+        "--priority", default="batch",
+        choices=("interactive", "batch", "bulk"),
+        help="admission priority class (default: batch)",
+    )
+    submit.add_argument(
+        "--deadline-s", type=float, default=None, metavar="S",
+        help="total serving deadline for this job",
+    )
+    submit.add_argument(
+        "--duration-s", type=float, default=0.02, metavar="S",
+        help="per-run duration for micro-ensemble jobs (default: 0.02)",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="stream progress and block until the job finishes",
+    )
+    submit.add_argument(
+        "--json", dest="json_path", default=None, metavar="PATH",
+        help="with --wait: write the terminal job record as JSON",
+    )
+    jobs = commands.add_parser(
+        "jobs", help="inspect a running job server (stats or one job)"
+    )
+    jobs.add_argument("--host", default="127.0.0.1")
+    jobs.add_argument("--port", type=int, default=7753)
+    jobs.add_argument(
+        "--id", dest="job_id", default=None, metavar="JOB",
+        help="show one job's status instead of server stats",
     )
     trace = commands.add_parser(
         "trace", help="render a recorded telemetry trace as a timeline"
@@ -356,6 +467,206 @@ def command_run(
     return 0
 
 
+def command_serve(
+    journal: str,
+    host: str = "127.0.0.1",
+    port: int = 7753,
+    job_workers: int = 2,
+    queue_limit: int = 64,
+    shed_threshold: float = 0.75,
+    max_retries: int = 3,
+    backoff_s: float = 0.05,
+    deadline_s: Optional[float] = None,
+    ready_file: Optional[str] = None,
+    no_sync: bool = False,
+    out=sys.stdout,
+) -> int:
+    """Run the job server until SIGINT/SIGTERM or a shutdown request."""
+    import asyncio
+    import contextlib
+    import signal
+
+    from repro.serve import JobServer, RetryPolicy
+
+    try:
+        server = JobServer(
+            journal_path=journal,
+            host=host,
+            port=port,
+            job_workers=job_workers,
+            queue_limit=queue_limit,
+            shed_threshold=shed_threshold,
+            retry_policy=RetryPolicy(
+                max_retries=max_retries,
+                base_delay_s=backoff_s,
+                deadline_s=deadline_s,
+            ),
+            journal_sync=not no_sync,
+        )
+    except ValueError as error:
+        out.write(f"error: {error}\n")
+        return 2
+
+    async def _serve() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(server.stop())
+                )
+        out.write(
+            f"serving on {server.host}:{server.port} "
+            f"(journal {server.journal.path}, {job_workers} worker(s), "
+            f"queue {queue_limit})\n"
+        )
+        out.flush()
+        if ready_file is not None:
+            with open(ready_file, "w", encoding="utf-8") as stream:
+                stream.write(f"{server.host}:{server.port}\n")
+        await server.wait_stopped()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    out.write("server stopped\n")
+    return 0
+
+
+def command_submit(
+    experiment: Optional[str] = None,
+    host: str = "127.0.0.1",
+    port: int = 7753,
+    scenario: Optional[str] = None,
+    seeds: Optional[int] = None,
+    workers: int = 1,
+    fault_args: Optional[List[str]] = None,
+    faults_path: Optional[str] = None,
+    priority: str = "batch",
+    deadline_s: Optional[float] = None,
+    duration_s: float = 0.02,
+    wait: bool = False,
+    json_path: Optional[str] = None,
+    out=sys.stdout,
+) -> int:
+    """Build a job spec from the CLI knobs and submit it."""
+    import json as json_module
+
+    from repro.serve import JobClient, JobSpec, ServerError
+
+    faults = _collect_fault_specs(fault_args, faults_path, out)
+    if faults is None:
+        return 2
+    scenario_spec = None
+    if scenario is not None:
+        from repro.sim.spec import load_scenario_spec
+
+        try:
+            scenario_spec = load_scenario_spec(scenario)
+        except (KeyError, OSError, ValueError, TypeError) as error:
+            message = error.args[0] if error.args else error
+            out.write(f"error: --scenario {scenario!r}: {message}\n")
+            return 2
+        if experiment is None:
+            experiment = "network_scale"
+    try:
+        spec = JobSpec(
+            kind="experiment" if experiment else "ensemble",
+            experiment=experiment,
+            scenario=scenario_spec,
+            seeds=seeds,
+            workers=workers,
+            faults=faults,
+            duration_s=duration_s,
+            priority=priority,
+            deadline_s=deadline_s,
+        )
+    except (TypeError, ValueError) as error:
+        out.write(f"error: {error}\n")
+        return 2
+    client = JobClient(host=host, port=port)
+    try:
+        response = client.submit(spec.to_dict())
+    except ServerError as error:
+        if error.error == "overload":
+            payload = error.payload
+            out.write(
+                f"overloaded: {payload.get('reason')} "
+                f"(queue {payload.get('queue_depth')}/"
+                f"{payload.get('queue_limit')}, retry in "
+                f"{payload.get('retry_after_s')} s)\n"
+            )
+            return 3
+        out.write(f"error: {error}\n")
+        return 2
+    except OSError as error:
+        out.write(f"error: cannot reach server at {host}:{port}: {error}\n")
+        return 2
+    job_id = response["id"]
+    flags = [
+        name
+        for name in ("coalesced", "cached")
+        if response.get(name)
+    ]
+    suffix = f" ({', '.join(flags)})" if flags else ""
+    out.write(f"job {job_id} {response['state']}{suffix}\n")
+    if not wait:
+        return 0
+
+    def _print_event(event):
+        detail = ""
+        if event.get("event") == "retried":
+            detail = (
+                f" (attempt {event.get('attempts')}, retry in "
+                f"{event.get('delay_s', 0.0):.2f} s)"
+            )
+        out.write(f"  {event.get('t', 0.0):8.2f}s {event.get('event')}{detail}\n")
+        out.flush()
+
+    try:
+        record = client.wait(job_id, on_event=_print_event)
+    except (ServerError, OSError) as error:
+        out.write(f"error: {error}\n")
+        return 2
+    out.write(f"job {job_id} {record['state']}\n")
+    if record.get("error"):
+        out.write(f"  error: {record['error']}\n")
+    if json_path is not None:
+        with open(json_path, "w", encoding="utf-8") as stream:
+            json_module.dump(record, stream, indent=2)
+            stream.write("\n")
+        out.write(f"-- wrote job record to {json_path} --\n")
+    return 0 if record["state"] == "succeeded" else 1
+
+
+def command_jobs(
+    host: str = "127.0.0.1",
+    port: int = 7753,
+    job_id: Optional[str] = None,
+    out=sys.stdout,
+) -> int:
+    """Show server stats, or one job's status with ``--id``."""
+    import json as json_module
+
+    from repro.serve import JobClient, ServerError
+
+    client = JobClient(host=host, port=port)
+    try:
+        if job_id is not None:
+            payload = client.status(job_id)
+        else:
+            payload = client.stats()
+    except ServerError as error:
+        out.write(f"error: {error}\n")
+        return 2
+    except OSError as error:
+        out.write(f"error: cannot reach server at {host}:{port}: {error}\n")
+        return 2
+    out.write(json_module.dumps(payload, indent=2, default=str) + "\n")
+    return 0
+
+
 def command_trace(
     trace_file: str,
     kind: Optional[str] = None,
@@ -394,6 +705,42 @@ def main(argv: Optional[List[str]] = None) -> int:
                 arguments.trace_file,
                 kind=arguments.kind,
                 limit=arguments.limit,
+            )
+        if arguments.command == "serve":
+            return command_serve(
+                journal=arguments.journal,
+                host=arguments.host,
+                port=arguments.port,
+                job_workers=arguments.job_workers,
+                queue_limit=arguments.queue_limit,
+                shed_threshold=arguments.shed_threshold,
+                max_retries=arguments.max_retries,
+                backoff_s=arguments.backoff_s,
+                deadline_s=arguments.deadline_s,
+                ready_file=arguments.ready_file,
+                no_sync=arguments.no_sync,
+            )
+        if arguments.command == "submit":
+            return command_submit(
+                experiment=arguments.experiment,
+                host=arguments.host,
+                port=arguments.port,
+                scenario=arguments.scenario,
+                seeds=arguments.seeds,
+                workers=arguments.workers,
+                fault_args=arguments.faults,
+                faults_path=arguments.faults_path,
+                priority=arguments.priority,
+                deadline_s=arguments.deadline_s,
+                duration_s=arguments.duration_s,
+                wait=arguments.wait,
+                json_path=arguments.json_path,
+            )
+        if arguments.command == "jobs":
+            return command_jobs(
+                host=arguments.host,
+                port=arguments.port,
+                job_id=arguments.job_id,
             )
         return command_run(
             arguments.experiment,

@@ -1,0 +1,182 @@
+"""Persistent job journal: crash-safe JSONL log of every job transition.
+
+The journal is the server's source of truth.  Every accepted submission
+and every lifecycle transition appends exactly one JSON line, flushed
+(and optionally fsynced) before the server acts on it, so a ``kill -9``
+at any instant loses at most a transition that had not yet been
+acknowledged.  On restart, :meth:`JobJournal.replay` folds the log back
+into :class:`~repro.serve.jobs.JobRecord`s:
+
+* jobs whose last op is terminal (``done`` / ``shed``) are kept for
+  result serving and idempotent resubmission;
+* jobs that were ``pending`` are re-queued in submission order;
+* jobs that were ``running`` when the process died are re-queued too —
+  the execution may not have finished, so the server re-runs them
+  (at-least-once execution, exactly-once *terminal state*).
+
+A torn final line (the crash happened mid-write) is detected and
+dropped rather than poisoning the replay.
+
+Op vocabulary (one JSON object per line)::
+
+    {"op": "submit", "id": ..., "key": ..., "t": ..., "job": {...}}
+    {"op": "coalesce", "id": ..., "t": ...}
+    {"op": "start", "id": ..., "attempt": n, "t": ...}
+    {"op": "retry", "id": ..., "attempt": n, "delay_s": ..., "error": ..., "t": ...}
+    {"op": "done", "id": ..., "state": "succeeded"|"failed", ..., "t": ...}
+    {"op": "shed", "id": ..., "reason": ..., "t": ...}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional, TextIO, Tuple
+
+from repro.serve.jobs import JobRecord, JobSpec, JobState
+
+__all__ = ["JobJournal", "replay_journal"]
+
+_OPS = ("submit", "coalesce", "start", "retry", "done", "shed")
+
+
+class JobJournal:
+    """Append-only JSONL journal with crash-safe replay.
+
+    Parameters
+    ----------
+    path:
+        Journal file; created (with parent directories) on first append.
+    sync:
+        fsync after every append.  Leave on for real serving; tests and
+        micro-benchmarks may disable it to measure pure queue overhead.
+    """
+
+    def __init__(self, path: str, sync: bool = True) -> None:
+        self.path = str(path)
+        self.sync = bool(sync)
+        self._stream: Optional[TextIO] = None
+
+    # ------------------------------------------------------------------
+    # writing
+
+    def _ensure_open(self) -> TextIO:
+        if self._stream is None or self._stream.closed:
+            parent = os.path.dirname(os.path.abspath(self.path))
+            os.makedirs(parent, exist_ok=True)
+            self._stream = open(self.path, "a", encoding="utf-8")
+        return self._stream
+
+    def append(self, op: str, **fields: Any) -> None:
+        """Durably append one op line."""
+        if op not in _OPS:
+            raise ValueError(
+                f"unknown journal op {op!r}; expected one of {', '.join(_OPS)}"
+            )
+        record: Dict[str, Any] = {"op": op}
+        record.update(fields)
+        stream = self._ensure_open()
+        stream.write(json.dumps(record, sort_keys=True) + "\n")
+        stream.flush()
+        if self.sync:
+            os.fsync(stream.fileno())
+
+    def close(self) -> None:
+        if self._stream is not None and not self._stream.closed:
+            self._stream.close()
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # replay
+
+    def read_ops(self) -> List[Dict[str, Any]]:
+        """Every complete op line, tolerating a torn final line."""
+        if not os.path.exists(self.path):
+            return []
+        ops: List[Dict[str, Any]] = []
+        with open(self.path, "r", encoding="utf-8") as stream:
+            lines = stream.readlines()
+        for index, line in enumerate(lines):
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                payload = json.loads(text)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    # Torn tail from a crash mid-append: drop it.
+                    break
+                raise ValueError(
+                    f"{self.path}:{index + 1}: corrupt journal line"
+                )
+            if not isinstance(payload, dict) or "op" not in payload:
+                raise ValueError(
+                    f"{self.path}:{index + 1}: journal line missing op"
+                )
+            ops.append(payload)
+        return ops
+
+    def replay(self) -> Tuple[Dict[str, JobRecord], List[str]]:
+        """Fold the log into records.
+
+        Returns ``(records, resumable)`` where ``records`` maps job id to
+        its reconstructed :class:`JobRecord` and ``resumable`` lists the
+        ids that must be re-queued (last state pending *or* running), in
+        original submission order.
+        """
+        records: Dict[str, JobRecord] = {}
+        order: List[str] = []
+        for payload in self.read_ops():
+            op = payload["op"]
+            job_id = str(payload.get("id", ""))
+            time_s = float(payload.get("t", 0.0))
+            if op == "submit":
+                spec = JobSpec.from_dict(dict(payload["job"]))
+                records[job_id] = JobRecord(
+                    job_id=job_id,
+                    key=str(payload["key"]),
+                    spec=spec,
+                    submitted_at_s=time_s,
+                )
+                order.append(job_id)
+                continue
+            record = records.get(job_id)
+            if record is None:
+                raise ValueError(
+                    f"{self.path}: op {op!r} for unknown job {job_id!r}"
+                )
+            if op == "coalesce":
+                record.submissions += 1
+            elif op == "start":
+                record.attempts = int(payload.get("attempt", record.attempts + 1))
+                record.transition(JobState.RUNNING, time_s)
+            elif op == "retry":
+                record.error = payload.get("error")
+                record.transition(JobState.PENDING, time_s)
+            elif op == "done":
+                state = str(payload.get("state", JobState.SUCCEEDED))
+                record.error = payload.get("error")
+                record.result = payload.get("result")
+                record.transition(state, time_s)
+            elif op == "shed":
+                record.error = str(payload.get("reason", "shed"))
+                record.transition(JobState.SHED, time_s)
+        resumable = [
+            job_id
+            for job_id in order
+            if not records[job_id].terminal
+        ]
+        # A job that died mid-run resumes as pending.
+        for job_id in resumable:
+            records[job_id].state = JobState.PENDING
+        return records, resumable
+
+
+def replay_journal(path: str) -> Tuple[Dict[str, JobRecord], List[str]]:
+    """One-shot :meth:`JobJournal.replay` without keeping a writer open."""
+    return JobJournal(path, sync=False).replay()

@@ -1,0 +1,97 @@
+"""Retry policy: exponential backoff with deterministic jitter.
+
+Layering: the *executor* already retries individual seed-runs inside a
+job (``EnsembleSpec.max_retries``, with per-attempt fault re-keying
+from the chaos subsystem).  This policy governs the layer above — a
+whole job whose execution raised (e.g. the ensemble exceeded its
+failure budget) is re-queued with exponential backoff, until either the
+attempt budget or the job's wall-clock deadline runs out.
+
+Jitter is derived from ``sha256(key:attempt)``, not from a shared RNG:
+the schedule is a pure function of the job key, so a replayed journal
+produces the same backoff sequence, and simultaneous retries of
+different jobs still de-synchronize.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["RetryPolicy"]
+
+
+def _unit_hash(text: str) -> float:
+    """Deterministic uniform-ish value in [0, 1) from a string."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How (and whether) a failed job is re-attempted.
+
+    ``delay_s`` for attempt ``n`` (1-based: the delay before attempt
+    ``n + 1``) is ``base_delay_s * 2**(n-1)`` scaled by
+    ``1 + jitter_frac * u`` with ``u = hash(key, n)``, capped at
+    ``max_delay_s``.
+    """
+
+    max_retries: int = 3
+    base_delay_s: float = 0.05
+    max_delay_s: float = 5.0
+    jitter_frac: float = 0.5
+    #: Default job deadline [s]; a job's own ``deadline_s`` wins.
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries!r}"
+            )
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("delays must be non-negative")
+        if self.max_delay_s < self.base_delay_s:
+            raise ValueError("max_delay_s must be >= base_delay_s")
+        if not 0.0 <= self.jitter_frac <= 1.0:
+            raise ValueError(
+                f"jitter_frac must be in [0, 1], got {self.jitter_frac!r}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be positive, got {self.deadline_s!r}"
+            )
+
+    def delay_s(self, key: str, attempt: int) -> float:
+        """Backoff before the attempt after ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt!r}")
+        base = self.base_delay_s * (2.0 ** (attempt - 1))
+        jitter = 1.0 + self.jitter_frac * _unit_hash(f"{key}:{attempt}")
+        return min(self.max_delay_s, base * jitter)
+
+    def effective_deadline_s(
+        self, job_deadline_s: Optional[float]
+    ) -> Optional[float]:
+        return job_deadline_s if job_deadline_s is not None else self.deadline_s
+
+    def should_retry(
+        self,
+        key: str,
+        attempt: int,
+        elapsed_s: float,
+        job_deadline_s: Optional[float] = None,
+    ) -> bool:
+        """Whether a job that failed on ``attempt`` gets another one.
+
+        The *next* attempt must fit the deadline budget: an attempt
+        whose backoff alone would cross the deadline is not worth
+        queueing.
+        """
+        if attempt > self.max_retries:
+            return False
+        deadline = self.effective_deadline_s(job_deadline_s)
+        if deadline is None:
+            return True
+        return elapsed_s + self.delay_s(key, attempt) < deadline

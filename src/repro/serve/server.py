@@ -1,0 +1,582 @@
+"""The asyncio job server: accept, queue, execute, retry, shed, stream.
+
+One event loop owns all bookkeeping (queue, records, journal order);
+job execution happens on a thread pool via ``run_in_executor`` (and
+from there on the ensemble executor's process pool), so a slow or
+crashing job never blocks admission.  The reliability ledger:
+
+* **Durability** — every transition is journaled (flushed + fsynced)
+  *before* the server acknowledges it; a ``kill -9`` at any instant is
+  recovered by :meth:`JobServer.start`'s journal replay.  Execution is
+  at-least-once, the terminal state exactly-once.
+* **Coalescing** — submissions are keyed on the content hash of the
+  result-determining spec fields (:func:`repro.serve.jobs.job_key`);
+  a duplicate of a pending/running job joins that execution, and a
+  duplicate of a *succeeded* job is served straight from the record.
+* **Retries** — a failed execution re-queues with deterministic
+  exponential backoff + jitter until the attempt budget or the job
+  deadline runs out (:class:`repro.serve.retry.RetryPolicy`); the
+  executor's own per-seed retries operate a layer below.
+* **Backpressure** — admission control and priority-aware shedding
+  live in :class:`repro.serve.queue.AdmissionQueue`; rejected arrivals
+  get a structured overload payload, evicted jobs a terminal ``shed``
+  state, and both show up on the telemetry bus.
+
+Wire protocol (newline-delimited JSON over TCP, one request per line)::
+
+    {"op": "submit", "job": {...}}   -> {"ok": true, "id": ..., ...}
+    {"op": "status", "id": ...}      -> {"ok": true, "job": {...}}
+    {"op": "result", "id": ...}      -> {"ok": true, "job": {...}}
+    {"op": "wait", "id": ...}        -> {"event": ...}* then {"ok": true, "job": {...}}
+    {"op": "stats"}                  -> {"ok": true, "stats": {...}}
+    {"op": "ping"}                   -> {"ok": true}
+    {"op": "shutdown"}               -> {"ok": true}  (server drains and exits)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Set
+
+from repro.serve.jobs import (
+    JobRecord,
+    JobSpec,
+    JobState,
+    ServiceOverload,
+    job_key,
+)
+from repro.serve.journal import JobJournal
+from repro.serve.queue import AdmissionQueue
+from repro.serve.retry import RetryPolicy
+from repro.serve.runner import execute_job
+from repro.telemetry import EventKind, get_recorder
+
+__all__ = ["JobServer", "ServerStats"]
+
+
+class ServerStats:
+    """Monotonic serving counters (JSON-safe snapshot via to_dict)."""
+
+    __slots__ = (
+        "submitted", "coalesced", "cached", "completed", "failed",
+        "shed", "overloads", "retries", "executions",
+    )
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.coalesced = 0
+        self.cached = 0
+        self.completed = 0
+        self.failed = 0
+        self.shed = 0
+        self.overloads = 0
+        self.retries = 0
+        self.executions = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class JobServer:
+    """A fault-tolerant job server over the experiment/ensemble runners.
+
+    Parameters
+    ----------
+    journal_path:
+        JSONL journal location; replayed on :meth:`start`.
+    host, port:
+        TCP bind address.  ``port=0`` binds an ephemeral port; read
+        :attr:`port` after :meth:`start`.
+    job_workers:
+        Concurrent executions.  ``0`` accepts-but-never-runs, which is
+        the hook restart/replay tests use to freeze a queue.
+    queue_limit, shed_threshold, protect_priority:
+        Admission-control knobs (see :class:`AdmissionQueue`).
+    retry_policy:
+        Job-level retry/backoff/deadline policy.
+    journal_sync:
+        fsync every journal append (leave on outside benchmarks).
+    """
+
+    def __init__(
+        self,
+        journal_path: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        job_workers: int = 2,
+        queue_limit: int = 64,
+        shed_threshold: float = 0.75,
+        protect_priority: str = "interactive",
+        retry_policy: Optional[RetryPolicy] = None,
+        journal_sync: bool = True,
+    ) -> None:
+        if job_workers < 0:
+            raise ValueError(f"job_workers must be >= 0, got {job_workers!r}")
+        self.host = host
+        self.port = int(port)
+        self.job_workers = int(job_workers)
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.queue = AdmissionQueue(
+            maxsize=queue_limit,
+            shed_threshold=shed_threshold,
+            protect_priority=protect_priority,
+        )
+        self.journal = JobJournal(journal_path, sync=journal_sync)
+        self.records: Dict[str, JobRecord] = {}
+        self.stats = ServerStats()
+        self._active: Dict[str, str] = {}     # key -> non-terminal job id
+        self._succeeded: Dict[str, str] = {}  # key -> succeeded job id
+        self._sequence = 0
+        self._started_monotonic = 0.0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._workers: List[asyncio.Task] = []
+        self._backoffs: Set[asyncio.Task] = set()
+        self._wakeup: Optional[asyncio.Condition] = None
+        self._subscribers: Dict[str, List[asyncio.Queue]] = {}
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._stopping = False
+        self._stopped = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # clocks and bookkeeping helpers
+
+    def now(self) -> float:
+        """Seconds since the server started (monotonic)."""
+        return time.monotonic() - self._started_monotonic
+
+    def _next_id(self) -> str:
+        self._sequence += 1
+        return f"job-{self._sequence:06d}"
+
+    def emit(self, kind: str, **fields: object) -> None:
+        """Put one serving event on the telemetry bus (when enabled)."""
+        recorder = get_recorder()
+        if recorder.enabled:
+            recorder.emit(kind, self.now(), **fields)
+            recorder.counter(f"serve.{kind}").inc()
+
+    def _notify(self, record: JobRecord, event: str, **extra: object) -> None:
+        payload: Dict[str, object] = {
+            "event": event,
+            "id": record.job_id,
+            "state": record.state,
+            "attempts": record.attempts,
+            "t": self.now(),
+        }
+        payload.update(extra)
+        for queue in self._subscribers.get(record.job_id, ()):
+            queue.put_nowait(payload)
+        if record.terminal:
+            for queue in self._subscribers.pop(record.job_id, ()):
+                queue.put_nowait(None)  # sentinel: stream closed
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start(self) -> None:
+        """Replay the journal, bind the socket, start the workers."""
+        self._started_monotonic = time.monotonic()
+        self._wakeup = asyncio.Condition()
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, self.job_workers),
+            thread_name_prefix="repro-serve",
+        )
+        records, resumable = self.journal.replay()
+        self.records = records
+        for job_id, record in records.items():
+            number = job_id.rsplit("-", 1)[-1]
+            if number.isdigit():
+                self._sequence = max(self._sequence, int(number))
+            if record.state == JobState.SUCCEEDED:
+                self._succeeded.setdefault(record.key, job_id)
+        for job_id in resumable:
+            record = records[job_id]
+            self._active[record.key] = job_id
+            self.queue.requeue(record)
+        self._server = await asyncio.start_server(
+            self._handle_client, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._workers = [
+            asyncio.create_task(self._worker_loop(index))
+            for index in range(self.job_workers)
+        ]
+        if resumable:
+            async with self._wakeup:
+                self._wakeup.notify_all()
+
+    async def stop(self) -> None:
+        """Stop accepting, cancel workers and backoffs, close the journal."""
+        if self._stopping:
+            await self._stopped.wait()
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._backoffs):
+            task.cancel()
+        for task in self._workers:
+            task.cancel()
+        await asyncio.gather(
+            *self._workers, *self._backoffs, return_exceptions=True
+        )
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+        self.journal.close()
+        self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    # ------------------------------------------------------------------
+    # submission path
+
+    def _shed(self, record: JobRecord, reason: str) -> None:
+        """Move an admitted job to its terminal ``shed`` state."""
+        time_s = self.now()
+        self.journal.append(
+            "shed", id=record.job_id, reason=reason, t=time_s
+        )
+        record.error = reason
+        record.transition(JobState.SHED, time_s)
+        self._active.pop(record.key, None)
+        self.stats.shed += 1
+        self.emit(
+            EventKind.JOB_SHED,
+            job_id=record.job_id,
+            priority=record.spec.priority,
+            reason=reason,
+        )
+        self._notify(record, "shed", reason=reason)
+
+    async def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Admit one submission; returns the wire response payload."""
+        try:
+            spec = JobSpec.from_dict(payload)
+        except (TypeError, ValueError, KeyError) as error:
+            return {"ok": False, "error": "bad_request", "reason": str(error)}
+        key = job_key(spec)
+        active_id = self._active.get(key)
+        if active_id is not None:
+            record = self.records[active_id]
+            record.submissions += 1
+            self.journal.append("coalesce", id=active_id, t=self.now())
+            self.stats.coalesced += 1
+            self.emit(
+                EventKind.JOB_SUBMITTED,
+                job_id=active_id,
+                coalesced=True,
+                priority=spec.priority,
+            )
+            return {
+                "ok": True, "id": active_id, "state": record.state,
+                "coalesced": True,
+            }
+        done_id = self._succeeded.get(key)
+        if done_id is not None:
+            record = self.records[done_id]
+            self.stats.cached += 1
+            return {
+                "ok": True, "id": done_id, "state": record.state,
+                "coalesced": False, "cached": True,
+            }
+        record = JobRecord(
+            job_id=self._next_id(),
+            key=key,
+            spec=spec,
+            submitted_at_s=self.now(),
+        )
+        try:
+            evicted = self.queue.offer(record)
+        except ServiceOverload as overload:
+            self.stats.overloads += 1
+            self.emit(
+                EventKind.JOB_SHED,
+                job_id="",
+                priority=spec.priority,
+                reason=overload.reason,
+                scope="admission",
+            )
+            response = {"ok": False}
+            response.update(overload.to_dict())
+            return response
+        self.journal.append(
+            "submit",
+            id=record.job_id,
+            key=key,
+            t=record.submitted_at_s,
+            job=spec.to_dict(),
+        )
+        self.records[record.job_id] = record
+        self._active[key] = record.job_id
+        self.stats.submitted += 1
+        self.emit(
+            EventKind.JOB_SUBMITTED,
+            job_id=record.job_id,
+            coalesced=False,
+            priority=spec.priority,
+        )
+        if evicted is not None:
+            self._shed(evicted, reason="evicted by higher-priority arrival")
+        assert self._wakeup is not None
+        async with self._wakeup:
+            self._wakeup.notify()
+        return {
+            "ok": True, "id": record.job_id, "state": record.state,
+            "coalesced": False,
+        }
+
+    # ------------------------------------------------------------------
+    # execution path
+
+    async def _worker_loop(self, index: int) -> None:
+        assert self._wakeup is not None
+        while True:
+            async with self._wakeup:
+                while len(self.queue) == 0:
+                    await self._wakeup.wait()
+                record = self.queue.pop()
+            if record is None or record.terminal:
+                continue
+            await self._execute(record)
+
+    async def _execute(self, record: JobRecord) -> None:
+        loop = asyncio.get_running_loop()
+        record.attempts += 1
+        time_s = self.now()
+        self.journal.append(
+            "start", id=record.job_id, attempt=record.attempts, t=time_s
+        )
+        record.transition(JobState.RUNNING, time_s)
+        self.stats.executions += 1
+        self.emit(
+            EventKind.JOB_STARTED,
+            job_id=record.job_id,
+            attempt=record.attempts,
+        )
+        self._notify(record, "started")
+        try:
+            result = await loop.run_in_executor(
+                self._executor, execute_job, record.spec
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:
+            self._handle_failure(record, error)
+        else:
+            time_s = self.now()
+            self.journal.append(
+                "done",
+                id=record.job_id,
+                state=JobState.SUCCEEDED,
+                result=result,
+                t=time_s,
+            )
+            record.result = result
+            record.transition(JobState.SUCCEEDED, time_s)
+            self._active.pop(record.key, None)
+            self._succeeded.setdefault(record.key, record.job_id)
+            self.stats.completed += 1
+            self.emit(
+                EventKind.JOB_COMPLETED,
+                job_id=record.job_id,
+                state=JobState.SUCCEEDED,
+                attempts=record.attempts,
+            )
+            self._notify(record, "completed")
+
+    def _handle_failure(self, record: JobRecord, error: Exception) -> None:
+        time_s = self.now()
+        elapsed_s = time_s - record.submitted_at_s
+        message = f"{type(error).__name__}: {error}"
+        policy = self.retry_policy
+        if not self._stopping and policy.should_retry(
+            record.key, record.attempts, elapsed_s, record.spec.deadline_s
+        ):
+            delay_s = policy.delay_s(record.key, record.attempts)
+            self.journal.append(
+                "retry",
+                id=record.job_id,
+                attempt=record.attempts,
+                delay_s=delay_s,
+                error=message,
+                t=time_s,
+            )
+            record.error = message
+            record.transition(JobState.PENDING, time_s)
+            self.stats.retries += 1
+            self.emit(
+                EventKind.JOB_RETRIED,
+                job_id=record.job_id,
+                attempt=record.attempts,
+                delay_s=delay_s,
+                error=message,
+            )
+            self._notify(record, "retried", delay_s=delay_s, error=message)
+            task = asyncio.create_task(self._requeue_after(record, delay_s))
+            self._backoffs.add(task)
+            task.add_done_callback(self._backoffs.discard)
+            return
+        self.journal.append(
+            "done",
+            id=record.job_id,
+            state=JobState.FAILED,
+            error=message,
+            t=time_s,
+        )
+        record.error = message
+        record.transition(JobState.FAILED, time_s)
+        self._active.pop(record.key, None)
+        self.stats.failed += 1
+        self.emit(
+            EventKind.JOB_COMPLETED,
+            job_id=record.job_id,
+            state=JobState.FAILED,
+            attempts=record.attempts,
+        )
+        self._notify(record, "failed", error=message)
+
+    async def _requeue_after(self, record: JobRecord, delay_s: float) -> None:
+        await asyncio.sleep(delay_s)
+        if record.terminal:
+            return
+        self.queue.requeue(record)
+        assert self._wakeup is not None
+        async with self._wakeup:
+            self._wakeup.notify()
+
+    # ------------------------------------------------------------------
+    # wire protocol
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line.decode("utf-8"))
+                except json.JSONDecodeError:
+                    await self._send(
+                        writer,
+                        {"ok": False, "error": "bad_request",
+                         "reason": "request is not valid JSON"},
+                    )
+                    continue
+                stop_after = await self._dispatch(request, writer)
+                if stop_after:
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    async def _send(
+        writer: asyncio.StreamWriter, payload: Dict[str, Any]
+    ) -> None:
+        writer.write((json.dumps(payload) + "\n").encode("utf-8"))
+        await writer.drain()
+
+    async def _dispatch(
+        self, request: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> bool:
+        """Handle one request; returns True when the connection should
+        close (shutdown)."""
+        op = request.get("op")
+        if op == "ping":
+            await self._send(writer, {"ok": True})
+        elif op == "submit":
+            job = request.get("job")
+            if not isinstance(job, dict):
+                await self._send(
+                    writer,
+                    {"ok": False, "error": "bad_request",
+                     "reason": 'submit needs a "job" object'},
+                )
+            else:
+                await self._send(writer, await self.submit(job))
+        elif op in ("status", "result"):
+            record = self.records.get(str(request.get("id", "")))
+            if record is None:
+                await self._send(
+                    writer,
+                    {"ok": False, "error": "not_found",
+                     "reason": f"unknown job {request.get('id')!r}"},
+                )
+            else:
+                await self._send(
+                    writer, {"ok": True, "job": record.to_dict()}
+                )
+        elif op == "wait":
+            await self._handle_wait(request, writer)
+        elif op == "stats":
+            await self._send(writer, {"ok": True, "stats": self.snapshot()})
+        elif op == "shutdown":
+            await self._send(writer, {"ok": True})
+            asyncio.get_running_loop().call_soon(
+                lambda: asyncio.ensure_future(self.stop())
+            )
+            return True
+        else:
+            await self._send(
+                writer,
+                {"ok": False, "error": "bad_request",
+                 "reason": f"unknown op {op!r}"},
+            )
+        return False
+
+    async def _handle_wait(
+        self, request: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        job_id = str(request.get("id", ""))
+        record = self.records.get(job_id)
+        if record is None:
+            await self._send(
+                writer,
+                {"ok": False, "error": "not_found",
+                 "reason": f"unknown job {job_id!r}"},
+            )
+            return
+        if record.terminal:
+            await self._send(writer, {"ok": True, "job": record.to_dict()})
+            return
+        queue: asyncio.Queue = asyncio.Queue()
+        self._subscribers.setdefault(job_id, []).append(queue)
+        while True:
+            event = await queue.get()
+            if event is None:
+                break
+            await self._send(writer, event)
+        await self._send(writer, {"ok": True, "job": record.to_dict()})
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Stats payload served to clients and the load harness."""
+        uptime_s = self.now()
+        completed = self.stats.completed
+        payload: Dict[str, Any] = {
+            "uptime_s": uptime_s,
+            "queue_depth": len(self.queue),
+            "queue_limit": self.queue.maxsize,
+            "running": sum(
+                1
+                for record in self.records.values()
+                if record.state == JobState.RUNNING
+            ),
+            "jobs_per_second": completed / uptime_s if uptime_s > 0 else 0.0,
+        }
+        payload.update(self.stats.to_dict())
+        return payload

@@ -67,6 +67,16 @@ class EventKind:
     #: A user attached to / detached from a serving cell.
     USER_ATTACH = "user_attach"
     USER_DETACH = "user_detach"
+    #: The job server accepted (or coalesced) a submission.
+    JOB_SUBMITTED = "job_submitted"
+    #: A job execution attempt began on a serving worker.
+    JOB_STARTED = "job_started"
+    #: A failed job was re-queued with backoff for another attempt.
+    JOB_RETRIED = "job_retried"
+    #: A job (or un-admitted arrival) was shed under overload.
+    JOB_SHED = "job_shed"
+    #: A job reached a terminal state (succeeded or failed).
+    JOB_COMPLETED = "job_completed"
 
     @classmethod
     def all(cls) -> Tuple[str, ...]:

@@ -1,0 +1,49 @@
+"""Shared harness: run a JobServer on a background thread's event loop.
+
+pytest-asyncio is not a dependency, so synchronous tests (blocking
+client, CLI commands) get a real server via :class:`ServerThread`
+instead of an async fixture.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serve import JobServer
+
+
+class ServerThread:
+    """Context manager: a live JobServer on a daemon thread."""
+
+    def __init__(self, journal_path, **kwargs):
+        self.server = JobServer(journal_path, **kwargs)
+        self._ready = threading.Event()
+        self._loop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self.server.start())
+        self._ready.set()
+        self._loop.run_until_complete(self.server.wait_stopped())
+        self._loop.close()
+
+    def __enter__(self):
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise RuntimeError("server thread failed to start")
+        return self.server
+
+    def __exit__(self, *_exc):
+        if not self.server._stopped.is_set():
+            asyncio.run_coroutine_threadsafe(
+                self.server.stop(), self._loop
+            ).result(timeout=30.0)
+        self._thread.join(timeout=30.0)
+
+
+@pytest.fixture
+def server_thread_cls():
+    return ServerThread

@@ -1,0 +1,201 @@
+"""CLI coverage for ``repro serve`` / ``repro submit`` / ``repro jobs``."""
+
+import io
+import json
+import os
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import build_parser, command_jobs, command_submit
+from repro.serve import JobClient
+
+MICRO_ARGS = dict(seeds=1, duration_s=0.01)
+
+
+class TestParser:
+    def test_serve_arguments(self):
+        arguments = build_parser().parse_args(
+            ["serve", "--port", "0", "--journal", "j.jsonl",
+             "--job-workers", "4", "--queue-limit", "16",
+             "--shed-threshold", "0.5", "--max-retries", "1",
+             "--backoff-s", "0.2", "--deadline-s", "30", "--no-sync"]
+        )
+        assert arguments.command == "serve"
+        assert arguments.port == 0
+        assert arguments.journal == "j.jsonl"
+        assert arguments.job_workers == 4
+        assert arguments.queue_limit == 16
+        assert arguments.shed_threshold == 0.5
+        assert arguments.no_sync
+
+    def test_submit_arguments(self):
+        arguments = build_parser().parse_args(
+            ["submit", "fig14", "--port", "1234", "--seeds", "3",
+             "--priority", "interactive", "--wait",
+             "--fault", "probe_loss:0.1"]
+        )
+        assert arguments.command == "submit"
+        assert arguments.experiment == "fig14"
+        assert arguments.priority == "interactive"
+        assert arguments.wait
+
+    def test_submit_experiment_is_optional(self):
+        arguments = build_parser().parse_args(["submit"])
+        assert arguments.experiment is None
+
+    def test_submit_rejects_unknown_priority(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "--priority", "vip"])
+
+    def test_jobs_arguments(self):
+        arguments = build_parser().parse_args(
+            ["jobs", "--port", "1234", "--id", "job-000001"]
+        )
+        assert arguments.command == "jobs"
+        assert arguments.job_id == "job-000001"
+
+
+class TestSubmitCommand:
+    def test_submit_and_wait_round_trip(self, tmp_path, server_thread_cls):
+        with server_thread_cls(
+            str(tmp_path / "jobs.jsonl"), job_workers=2
+        ) as server:
+            out = io.StringIO()
+            json_path = str(tmp_path / "record.json")
+            status = command_submit(
+                port=server.port, wait=True, json_path=json_path,
+                out=out, **MICRO_ARGS,
+            )
+            assert status == 0
+            text = out.getvalue()
+            assert "job job-000001 pending" in text
+            assert "job job-000001 succeeded" in text
+            record = json.load(open(json_path, encoding="utf-8"))
+            assert record["state"] == "succeeded"
+            assert record["result"]["runs"] == 1
+
+    def test_duplicate_submission_reports_cache(
+        self, tmp_path, server_thread_cls
+    ):
+        with server_thread_cls(
+            str(tmp_path / "jobs.jsonl"), job_workers=2
+        ) as server:
+            first = io.StringIO()
+            assert command_submit(
+                port=server.port, wait=True, out=first, **MICRO_ARGS
+            ) == 0
+            again = io.StringIO()
+            assert command_submit(
+                port=server.port, out=again, **MICRO_ARGS
+            ) == 0
+            assert "(cached)" in again.getvalue()
+
+    def test_overload_exits_3_with_reason(self, tmp_path, server_thread_cls):
+        with server_thread_cls(
+            str(tmp_path / "jobs.jsonl"),
+            job_workers=0,
+            queue_limit=2,
+            shed_threshold=1.0,
+        ) as server:
+            for seeds in (1, 2):
+                assert command_submit(
+                    port=server.port, seeds=seeds,
+                    priority="interactive", out=io.StringIO(),
+                ) == 0
+            out = io.StringIO()
+            status = command_submit(
+                port=server.port, seeds=3, priority="interactive", out=out,
+            )
+            assert status == 3
+            assert "overloaded" in out.getvalue()
+            assert "queue 2/2" in out.getvalue()
+
+    def test_unreachable_server_exits_2(self, tmp_path):
+        out = io.StringIO()
+        # An unbound ephemeral-range port: connection refused.
+        status = command_submit(port=1, out=out, **MICRO_ARGS)
+        assert status == 2
+        assert "cannot reach server" in out.getvalue()
+
+    def test_bad_spec_never_touches_the_network(self):
+        out = io.StringIO()
+        status = command_submit(port=1, seeds=0, out=out)
+        assert status == 2
+        assert "seeds" in out.getvalue()
+
+
+class TestJobsCommand:
+    def test_stats_and_status(self, tmp_path, server_thread_cls):
+        with server_thread_cls(
+            str(tmp_path / "jobs.jsonl"), job_workers=2
+        ) as server:
+            out = io.StringIO()
+            assert command_submit(
+                port=server.port, wait=True, out=out, **MICRO_ARGS
+            ) == 0
+            stats_out = io.StringIO()
+            assert command_jobs(port=server.port, out=stats_out) == 0
+            stats = json.loads(stats_out.getvalue())
+            assert stats["completed"] == 1
+            assert stats["jobs_per_second"] > 0
+            status_out = io.StringIO()
+            assert command_jobs(
+                port=server.port, job_id="job-000001", out=status_out
+            ) == 0
+            assert json.loads(status_out.getvalue())["state"] == "succeeded"
+
+    def test_unknown_job_exits_2(self, tmp_path, server_thread_cls):
+        with server_thread_cls(
+            str(tmp_path / "jobs.jsonl"), job_workers=0
+        ) as server:
+            out = io.StringIO()
+            assert command_jobs(
+                port=server.port, job_id="job-9", out=out
+            ) == 2
+            assert "error" in out.getvalue()
+
+
+class TestServeCommand:
+    """End-to-end: the real CLI process, shut down over the wire."""
+
+    def test_serve_process_round_trip(self, tmp_path):
+        ready_file = tmp_path / "ready"
+        journal = tmp_path / "jobs.jsonl"
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        process = subprocess.Popen(
+            [sys.executable, "-c",
+             "from repro.cli import main; raise SystemExit(main())",
+             "serve", "--port", "0", "--journal", str(journal),
+             "--job-workers", "1", "--ready-file", str(ready_file)],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+        try:
+            deadline = time.monotonic() + 60.0
+            while not ready_file.exists():
+                assert process.poll() is None, (
+                    f"server died early:\n"
+                    f"{process.stdout.read().decode(errors='replace')}"
+                )
+                assert time.monotonic() < deadline, "server never came up"
+                time.sleep(0.05)
+            port = int(ready_file.read_text().strip().rsplit(":", 1)[1])
+            client = JobClient(port=port, timeout_s=60.0)
+            submitted = client.submit(
+                {"kind": "ensemble", "seeds": 1, "duration_s": 0.01}
+            )
+            record = client.wait(submitted["id"], timeout_s=60.0)
+            assert record["state"] == "succeeded"
+            client.shutdown()
+            assert process.wait(timeout=60.0) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30.0)
+        assert journal.exists()

@@ -1,0 +1,82 @@
+"""Retry policy: deterministic jitter, exponential growth, deadlines."""
+
+import pytest
+
+from repro.serve import RetryPolicy
+
+
+class TestDelay:
+    def test_deterministic_per_key(self):
+        policy = RetryPolicy(base_delay_s=0.1)
+        assert policy.delay_s("k1", 1) == policy.delay_s("k1", 1)
+        # Different keys de-synchronize; different attempts too.
+        assert policy.delay_s("k1", 1) != policy.delay_s("k2", 1)
+        assert policy.delay_s("k1", 1) != policy.delay_s("k1", 2)
+
+    def test_exponential_growth_within_jitter_band(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, max_delay_s=100.0, jitter_frac=0.5
+        )
+        for attempt in range(1, 6):
+            base = 0.1 * 2 ** (attempt - 1)
+            delay = policy.delay_s("key", attempt)
+            assert base <= delay <= 1.5 * base
+
+    def test_cap(self):
+        policy = RetryPolicy(base_delay_s=1.0, max_delay_s=2.0)
+        assert policy.delay_s("key", 10) == 2.0
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, max_delay_s=100.0, jitter_frac=0.0
+        )
+        assert policy.delay_s("any", 3) == pytest.approx(0.4)
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValueError, match="attempt"):
+            RetryPolicy().delay_s("key", 0)
+
+
+class TestShouldRetry:
+    def test_attempt_budget(self):
+        policy = RetryPolicy(max_retries=2)
+        assert policy.should_retry("k", 1, elapsed_s=0.0)
+        assert policy.should_retry("k", 2, elapsed_s=0.0)
+        assert not policy.should_retry("k", 3, elapsed_s=0.0)
+
+    def test_deadline_budget(self):
+        policy = RetryPolicy(
+            max_retries=10, base_delay_s=1.0, max_delay_s=1.0,
+            jitter_frac=0.0, deadline_s=5.0,
+        )
+        assert policy.should_retry("k", 1, elapsed_s=0.0)
+        # Backoff alone would cross the deadline: not worth queueing.
+        assert not policy.should_retry("k", 1, elapsed_s=4.5)
+
+    def test_job_deadline_overrides_policy_default(self):
+        policy = RetryPolicy(
+            max_retries=10, base_delay_s=1.0, max_delay_s=1.0,
+            jitter_frac=0.0, deadline_s=100.0,
+        )
+        assert not policy.should_retry(
+            "k", 1, elapsed_s=1.0, job_deadline_s=1.5
+        )
+        assert policy.should_retry("k", 1, elapsed_s=1.0)
+
+    def test_no_deadline_means_attempts_only(self):
+        policy = RetryPolicy(max_retries=1)
+        assert policy.should_retry("k", 1, elapsed_s=1e9)
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="non-negative"):
+            RetryPolicy(base_delay_s=-0.1)
+        with pytest.raises(ValueError, match="max_delay_s"):
+            RetryPolicy(base_delay_s=1.0, max_delay_s=0.5)
+        with pytest.raises(ValueError, match="jitter_frac"):
+            RetryPolicy(jitter_frac=1.5)
+        with pytest.raises(ValueError, match="deadline_s"):
+            RetryPolicy(deadline_s=0.0)

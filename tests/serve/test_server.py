@@ -1,0 +1,498 @@
+"""Job server integration: lifecycle, coalescing, retries, shedding,
+journal replay, the wire protocol, and the blocking client.
+
+pytest-asyncio is not a dependency, so every async test drives its own
+loop through ``asyncio.run``; the blocking-client tests run the server
+on a background thread's loop instead.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import JobClient, JobServer, RetryPolicy, ServerError
+from repro.telemetry import EventKind, TelemetryRecorder, use_recorder
+
+#: A micro job cheap enough to run hundreds of times in the suite.
+MICRO_JOB = {"kind": "ensemble", "seeds": 1, "duration_s": 0.01}
+
+#: A job that fails every attempt: worker_crash at rate 1.0 crashes the
+#: run on every seed and every executor retry, so the ensemble always
+#: exceeds its failure budget and the *server's* retry layer engages.
+DOOMED_JOB = {
+    "kind": "ensemble",
+    "seeds": 1,
+    "duration_s": 0.01,
+    "faults": [{"kind": "worker_crash", "rate": 1.0}],
+    "ensemble_retries": 0,
+}
+
+
+async def _wait_terminal(server, job_id, timeout_s=30.0):
+    deadline = asyncio.get_running_loop().time() + timeout_s
+    while True:
+        record = server.records[job_id]
+        if record.terminal:
+            return record
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError(
+                f"job {job_id} not terminal after {timeout_s}s "
+                f"(state={record.state})"
+            )
+        await asyncio.sleep(0.01)
+
+
+class TestLifecycle:
+    def test_submit_runs_to_success(self, tmp_path):
+        async def scenario():
+            server = JobServer(str(tmp_path / "jobs.jsonl"), job_workers=1)
+            await server.start()
+            try:
+                response = await server.submit(dict(MICRO_JOB))
+                assert response["ok"] and not response["coalesced"]
+                record = await _wait_terminal(server, response["id"])
+                assert record.state == "succeeded"
+                assert record.result["runs"] == 1
+                assert record.result["failures"] == 0
+                assert server.stats.completed == 1
+                assert server.stats.executions == 1
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_bad_spec_is_rejected_not_queued(self, tmp_path):
+        async def scenario():
+            server = JobServer(str(tmp_path / "jobs.jsonl"), job_workers=0)
+            await server.start()
+            try:
+                response = await server.submit({"kind": "mystery"})
+                assert not response["ok"]
+                assert response["error"] == "bad_request"
+                assert server.stats.submitted == 0
+                assert len(server.queue) == 0
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+
+class TestCoalescing:
+    def test_duplicate_of_pending_job_coalesces(self, tmp_path):
+        async def scenario():
+            # job_workers=0 freezes the queue: the first submission stays
+            # pending, so the duplicate provably coalesces.
+            server = JobServer(str(tmp_path / "jobs.jsonl"), job_workers=0)
+            await server.start()
+            try:
+                first = await server.submit(dict(MICRO_JOB))
+                second = await server.submit(dict(MICRO_JOB))
+                assert second["coalesced"]
+                assert second["id"] == first["id"]
+                record = server.records[first["id"]]
+                assert record.submissions == 2
+                assert server.stats.submitted == 1
+                assert server.stats.coalesced == 1
+                # Serving metadata must not split the key.
+                third = await server.submit(
+                    dict(MICRO_JOB, priority="interactive", workers=4)
+                )
+                assert third["coalesced"] and third["id"] == first["id"]
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_succeeded_job_served_from_cache(self, tmp_path):
+        async def scenario():
+            server = JobServer(str(tmp_path / "jobs.jsonl"), job_workers=1)
+            await server.start()
+            try:
+                first = await server.submit(dict(MICRO_JOB))
+                await _wait_terminal(server, first["id"])
+                again = await server.submit(dict(MICRO_JOB))
+                assert again["ok"] and again.get("cached")
+                assert again["id"] == first["id"]
+                assert again["state"] == "succeeded"
+                assert server.stats.executions == 1  # no re-run
+                assert server.stats.cached == 1
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+
+class TestRetries:
+    def test_failing_job_retries_then_fails(self, tmp_path):
+        async def scenario():
+            server = JobServer(
+                str(tmp_path / "jobs.jsonl"),
+                job_workers=1,
+                retry_policy=RetryPolicy(max_retries=2, base_delay_s=0.01),
+            )
+            await server.start()
+            try:
+                response = await server.submit(dict(DOOMED_JOB))
+                record = await _wait_terminal(server, response["id"])
+                assert record.state == "failed"
+                assert record.attempts == 3  # 1 first try + 2 retries
+                assert "EnsembleError" in record.error
+                assert server.stats.retries == 2
+                assert server.stats.failed == 1
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_deadline_bounds_the_retry_loop(self, tmp_path):
+        async def scenario():
+            server = JobServer(
+                str(tmp_path / "jobs.jsonl"),
+                job_workers=1,
+                retry_policy=RetryPolicy(
+                    max_retries=50, base_delay_s=10.0, max_delay_s=10.0
+                ),
+            )
+            await server.start()
+            try:
+                # The first backoff (10s) alone would cross the 0.5s
+                # deadline, so the job fails terminally after one attempt.
+                response = await server.submit(
+                    dict(DOOMED_JOB, deadline_s=0.5)
+                )
+                record = await _wait_terminal(server, response["id"])
+                assert record.state == "failed"
+                assert record.attempts == 1
+                assert server.stats.retries == 0
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+
+class TestShedding:
+    def test_eviction_sheds_the_evicted_job_terminally(self, tmp_path):
+        async def scenario():
+            server = JobServer(
+                str(tmp_path / "jobs.jsonl"),
+                job_workers=0,
+                queue_limit=2,
+                shed_threshold=1.0,
+            )
+            await server.start()
+            try:
+                bulk = dict(MICRO_JOB, priority="bulk")
+                first = await server.submit(dict(bulk, seeds=1))
+                second = await server.submit(dict(bulk, seeds=2))
+                vip = await server.submit(
+                    dict(MICRO_JOB, seeds=3, priority="interactive")
+                )
+                assert vip["ok"]
+                evicted = server.records[second["id"]]
+                assert evicted.state == "shed"
+                assert "evicted" in evicted.error
+                assert server.records[first["id"]].state == "pending"
+                assert server.stats.shed == 1
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_hard_overload_is_a_structured_rejection(self, tmp_path):
+        async def scenario():
+            server = JobServer(
+                str(tmp_path / "jobs.jsonl"),
+                job_workers=0,
+                queue_limit=2,
+                shed_threshold=1.0,
+            )
+            await server.start()
+            try:
+                vip = dict(MICRO_JOB, priority="interactive")
+                await server.submit(dict(vip, seeds=1))
+                await server.submit(dict(vip, seeds=2))
+                rejected = await server.submit(dict(vip, seeds=3))
+                assert not rejected["ok"]
+                assert rejected["error"] == "overload"
+                assert rejected["queue_depth"] == 2
+                assert rejected["queue_limit"] == 2
+                assert rejected["retry_after_s"] > 0
+                assert server.stats.overloads == 1
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_soft_shedding_protects_interactive(self, tmp_path):
+        async def scenario():
+            server = JobServer(
+                str(tmp_path / "jobs.jsonl"),
+                job_workers=0,
+                queue_limit=4,
+                shed_threshold=0.5,
+            )
+            await server.start()
+            try:
+                await server.submit(dict(MICRO_JOB, seeds=1))
+                await server.submit(dict(MICRO_JOB, seeds=2))
+                shed = await server.submit(dict(MICRO_JOB, seeds=3))
+                assert not shed["ok"] and shed["error"] == "overload"
+                vip = await server.submit(
+                    dict(MICRO_JOB, seeds=3, priority="interactive")
+                )
+                assert vip["ok"]
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+
+class TestReplay:
+    def test_restart_resumes_unfinished_jobs(self, tmp_path):
+        journal = str(tmp_path / "jobs.jsonl")
+
+        async def before_crash():
+            # Frozen server: accepts two jobs, runs neither, then the
+            # process "dies" without a clean shutdown.
+            server = JobServer(journal, job_workers=0)
+            await server.start()
+            first = await server.submit(dict(MICRO_JOB, seeds=1))
+            second = await server.submit(dict(MICRO_JOB, seeds=2))
+            server.journal.close()
+            if server._server is not None:
+                server._server.close()
+                await server._server.wait_closed()
+            return first["id"], second["id"]
+
+        async def after_restart(job_ids):
+            server = JobServer(journal, job_workers=2)
+            await server.start()
+            try:
+                for job_id in job_ids:
+                    record = await _wait_terminal(server, job_id)
+                    assert record.state == "succeeded"
+                # Replayed ids must not be reissued to new submissions.
+                fresh = await server.submit(dict(MICRO_JOB, seeds=99))
+                assert fresh["id"] not in job_ids
+            finally:
+                await server.stop()
+
+        job_ids = asyncio.run(before_crash())
+        asyncio.run(after_restart(job_ids))
+
+    def test_restart_serves_finished_results_from_journal(self, tmp_path):
+        journal = str(tmp_path / "jobs.jsonl")
+
+        async def first_life():
+            server = JobServer(journal, job_workers=1)
+            await server.start()
+            response = await server.submit(dict(MICRO_JOB))
+            await _wait_terminal(server, response["id"])
+            await server.stop()
+            return response["id"]
+
+        async def second_life(job_id):
+            server = JobServer(journal, job_workers=1)
+            await server.start()
+            try:
+                again = await server.submit(dict(MICRO_JOB))
+                assert again["id"] == job_id
+                assert again.get("cached")
+                record = server.records[job_id]
+                assert record.result["runs"] == 1
+                assert server.stats.executions == 0
+            finally:
+                await server.stop()
+
+        job_id = asyncio.run(first_life())
+        asyncio.run(second_life(job_id))
+
+
+class TestWireProtocol:
+    @staticmethod
+    async def _roundtrip(server, payload):
+        reader, writer = await asyncio.open_connection(
+            server.host, server.port
+        )
+        try:
+            writer.write((json.dumps(payload) + "\n").encode())
+            await writer.drain()
+            line = await reader.readline()
+            return json.loads(line)
+        finally:
+            writer.close()
+            await writer.wait_closed()
+
+    def test_core_ops(self, tmp_path):
+        async def scenario():
+            server = JobServer(str(tmp_path / "jobs.jsonl"), job_workers=1)
+            await server.start()
+            try:
+                assert (await self._roundtrip(server, {"op": "ping"}))["ok"]
+                submitted = await self._roundtrip(
+                    server, {"op": "submit", "job": dict(MICRO_JOB)}
+                )
+                assert submitted["ok"]
+                await _wait_terminal(server, submitted["id"])
+                status = await self._roundtrip(
+                    server, {"op": "status", "id": submitted["id"]}
+                )
+                assert status["job"]["state"] == "succeeded"
+                stats = await self._roundtrip(server, {"op": "stats"})
+                assert stats["stats"]["completed"] == 1
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_malformed_requests_get_structured_errors(self, tmp_path):
+        async def scenario():
+            server = JobServer(str(tmp_path / "jobs.jsonl"), job_workers=0)
+            await server.start()
+            try:
+                unknown = await self._roundtrip(server, {"op": "frobnicate"})
+                assert unknown["error"] == "bad_request"
+                missing = await self._roundtrip(
+                    server, {"op": "status", "id": "job-999999"}
+                )
+                assert missing["error"] == "not_found"
+                no_job = await self._roundtrip(server, {"op": "submit"})
+                assert no_job["error"] == "bad_request"
+
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                try:
+                    writer.write(b"this is not json\n")
+                    await writer.drain()
+                    garbled = json.loads(await reader.readline())
+                    assert garbled["error"] == "bad_request"
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_wait_streams_progress_then_terminal_record(self, tmp_path):
+        async def scenario():
+            server = JobServer(
+                str(tmp_path / "jobs.jsonl"),
+                job_workers=1,
+                retry_policy=RetryPolicy(max_retries=1, base_delay_s=0.01),
+            )
+            await server.start()
+            try:
+                submitted = await server.submit(dict(DOOMED_JOB))
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                try:
+                    writer.write(
+                        (json.dumps({"op": "wait", "id": submitted["id"]})
+                         + "\n").encode()
+                    )
+                    await writer.drain()
+                    payloads = []
+                    while True:
+                        line = await asyncio.wait_for(
+                            reader.readline(), timeout=30.0
+                        )
+                        payload = json.loads(line)
+                        payloads.append(payload)
+                        if "ok" in payload:
+                            break
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+                events = [p["event"] for p in payloads if "event" in p]
+                assert "started" in events
+                assert "retried" in events
+                assert "failed" in events
+                final = payloads[-1]
+                assert final["ok"] and final["job"]["state"] == "failed"
+            finally:
+                await server.stop()
+
+        asyncio.run(scenario())
+
+
+class TestTelemetry:
+    def test_job_lifecycle_hits_the_telemetry_bus(self, tmp_path):
+        async def scenario():
+            server = JobServer(
+                str(tmp_path / "jobs.jsonl"),
+                job_workers=1,
+                retry_policy=RetryPolicy(max_retries=1, base_delay_s=0.01),
+            )
+            await server.start()
+            try:
+                ok = await server.submit(dict(MICRO_JOB))
+                await _wait_terminal(server, ok["id"])
+                doomed = await server.submit(dict(DOOMED_JOB))
+                await _wait_terminal(server, doomed["id"])
+            finally:
+                await server.stop()
+
+        recorder = TelemetryRecorder()
+        with use_recorder(recorder):
+            asyncio.run(scenario())
+        kinds = recorder.events.kinds()
+        assert kinds[EventKind.JOB_SUBMITTED] == 2
+        assert kinds[EventKind.JOB_STARTED] == 3  # 1 + (1 try + 1 retry)
+        assert kinds[EventKind.JOB_RETRIED] == 1
+        assert kinds[EventKind.JOB_COMPLETED] == 2
+        assert recorder.metrics.counter("serve.job_completed").value == 2
+
+
+class TestBlockingClient:
+    """Blocking-client tests: the server runs on the shared conftest
+    thread harness (``server_thread_cls``)."""
+
+    def test_submit_wait_and_stats(self, tmp_path, server_thread_cls):
+        with server_thread_cls(
+            str(tmp_path / "jobs.jsonl"), job_workers=2
+        ) as server:
+            client = JobClient(port=server.port, timeout_s=60.0)
+            assert client.ping()
+            submitted = client.submit(dict(MICRO_JOB))
+            seen = []
+            record = client.wait(submitted["id"], on_event=seen.append)
+            assert record["state"] == "succeeded"
+            # Events only stream if the subscription won the race with
+            # the (fast) job; when it did, they must be well-formed.
+            assert all("event" in event and "t" in event for event in seen)
+            assert client.status(submitted["id"])["state"] == "succeeded"
+            assert client.stats()["completed"] == 1
+
+    def test_overload_raises_server_error(self, tmp_path, server_thread_cls):
+        with server_thread_cls(
+            str(tmp_path / "jobs.jsonl"),
+            job_workers=0,
+            queue_limit=2,
+            shed_threshold=1.0,
+        ) as server:
+            client = JobClient(port=server.port)
+            vip = dict(MICRO_JOB, priority="interactive")
+            client.submit(dict(vip, seeds=1))
+            client.submit(dict(vip, seeds=2))
+            with pytest.raises(ServerError) as excinfo:
+                client.submit(dict(vip, seeds=3))
+            assert excinfo.value.error == "overload"
+            assert excinfo.value.payload["retry_after_s"] > 0
+
+    def test_shutdown_op_stops_the_server(self, tmp_path, server_thread_cls):
+        import time
+
+        with server_thread_cls(
+            str(tmp_path / "jobs.jsonl"), job_workers=1
+        ) as server:
+            client = JobClient(port=server.port)
+            client.shutdown()
+            deadline = time.monotonic() + 30.0
+            while not server._stopped.is_set():
+                if time.monotonic() > deadline:
+                    raise AssertionError("server did not stop after shutdown")
+                time.sleep(0.01)

@@ -79,6 +79,30 @@ def interrupting_scenario(seed):
     return make_scenario(seed)
 
 
+def slow_failing_scenario(seed, delay_s=0.5):
+    """Burns budget, then fails: exercises the serial backend's
+    failure-over-budget -> timeout conversion."""
+    time.sleep(delay_s)
+    raise RuntimeError(f"failed after burning the budget (seed {seed})")
+
+
+def pool_killer_flaky_scenario(seed, marker_dir=None):
+    """Kills pool workers hard; fails once, then succeeds in the parent.
+
+    Round 0 breaks the pool and the serial fallback fails transiently,
+    so the *retry* round must also run on the serial path (the pool is
+    gone for the rest of the ensemble) and keep the fallback accounting.
+    """
+    if multiprocessing.parent_process() is not None:
+        os._exit(1)
+    marker = os.path.join(marker_dir, f"seen-{seed}")
+    if not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        raise RuntimeError(f"transient failure for seed {seed}")
+    return make_scenario(seed)
+
+
 def fast_spec(**overrides):
     defaults = dict(
         label="oracle",
@@ -142,6 +166,37 @@ class TestTimeouts:
         summary = execute_ensemble(spec)
         assert [f.kind for f in summary.failures] == ["timeout"]
         assert summary.stats.timed_out_runs == 1
+
+    def test_serial_backend_converts_overbudget_failure(self):
+        # A run that *fails* after exceeding the budget must surface as
+        # a timeout, not a crash: the two backends stay semantically
+        # aligned (the process backend would have preempted it first).
+        spec = fast_spec(
+            scenario_factory=partial(slow_failing_scenario, delay_s=0.5),
+            seeds=range(2),
+            workers=1,
+            timeout_s=0.2,
+            max_failure_fraction=1.0,
+        )
+        with pytest.raises(EnsembleError) as excinfo:
+            execute_ensemble(spec)
+        failures = excinfo.value.failures
+        assert [f.kind for f in failures] == ["timeout", "timeout"]
+        assert all("timeout_s" in f.error for f in failures)
+        assert all(f.elapsed_s > 0.2 for f in failures)
+
+    def test_serial_underbudget_failure_keeps_its_kind(self):
+        spec = fast_spec(
+            scenario_factory=partial(slow_failing_scenario, delay_s=0.0),
+            seeds=range(2),
+            workers=1,
+            timeout_s=30.0,
+            max_failure_fraction=1.0,
+        )
+        with pytest.raises(EnsembleError) as excinfo:
+            execute_ensemble(spec)
+        assert all(f.kind == "error" for f in excinfo.value.failures)
+        assert all("burning the budget" in f.error for f in excinfo.value.failures)
 
     def test_generous_timeout_is_a_no_op(self):
         summary = execute_ensemble(fast_spec(workers=2, timeout_s=120.0))
@@ -250,6 +305,25 @@ class TestBrokenPoolFallback:
         assert summary.failures == ()
         assert summary.stats.serial_fallback_runs > 0
         assert "serial-fallback" in summary.stats.describe()
+
+    def test_broken_pool_stays_serial_across_retry_rounds(self, tmp_path):
+        spec = fast_spec(
+            scenario_factory=partial(
+                pool_killer_flaky_scenario, marker_dir=str(tmp_path)
+            ),
+            seeds=range(3),
+            workers=2,
+            max_retries=1,
+            max_failure_fraction=1.0,
+        )
+        summary = execute_ensemble(spec)
+        # Round 0 broke the pool and its serial fallback failed
+        # transiently; the retry round ran serially too (markers exist
+        # now, so it succeeded) and kept the fallback accounting.
+        assert summary.failures == ()
+        assert len(summary.metrics) == 3
+        assert summary.stats.retried_runs == 3
+        assert summary.stats.serial_fallback_runs > 3
 
     def test_fallback_engaged_event(self):
         from repro.telemetry import TelemetryRecorder, use_recorder
