@@ -1,0 +1,79 @@
+"""Bench: compute-backend kernel throughput, per registered backend.
+
+Parametrized over every *available* backend so `scripts/bench_compare.py`
+can gate both the NumPy reference and the compiled backend against the
+committed baseline.  In environments without numba only the numpy leg
+runs (the numba leg is skipped, and bench_compare tolerates the
+one-sided baseline entries).
+"""
+
+import numpy as np
+import pytest
+
+from repro.perf.backend import available_backends, dispatch, use_backend
+
+BACKENDS = [
+    pytest.param(
+        name,
+        marks=()
+        if available
+        else pytest.mark.skip(reason=f"backend {name!r} unavailable"),
+    )
+    for name, available in available_backends().items()
+]
+
+
+def _superres_workload():
+    rng = np.random.default_rng(11)
+    num_candidates, num_taps, num_beams = 64, 128, 3
+    delays = rng.uniform(0.0, 100e-9, size=(num_candidates, num_beams))
+    cir = rng.standard_normal(num_taps) + 1j * rng.standard_normal(num_taps)
+    return delays, cir
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_backend_stacked_superres_solve(benchmark, once, backend_name):
+    """Dictionary build + batched candidate solve, the fig18 hot loop."""
+    delays, cir = _superres_workload()
+
+    def solve():
+        with use_backend(backend_name):
+            dictionaries = dispatch(
+                "stacked_dirichlet_dictionaries", delays, 400e6, cir.size
+            )
+            return dispatch(
+                "stacked_candidate_solve", dictionaries, cir, 1e-3
+            )
+
+    alphas, residuals, objectives = once(benchmark, solve)
+    assert alphas.shape == delays.shape
+    assert np.all(residuals >= 0.0)
+    assert np.all(objectives >= residuals ** 2 * (1.0 - 1e-9))
+
+
+@pytest.mark.parametrize("backend_name", BACKENDS)
+def test_backend_batch_channel_sampling(benchmark, once, backend_name):
+    """Batched beamformed frequency response, the link-SNR hot loop."""
+    rng = np.random.default_rng(12)
+    num_samples, num_paths, num_elements, num_freqs = 512, 3, 16, 64
+    steering = np.exp(
+        1j * rng.uniform(0.0, 2.0 * np.pi, (num_samples, num_paths, num_elements))
+    )
+    rotation = np.exp(
+        1j * rng.uniform(0.0, 2.0 * np.pi, (num_samples, num_freqs, num_paths))
+    )
+    gains = (
+        rng.standard_normal((num_samples, num_paths))
+        + 1j * rng.standard_normal((num_samples, num_paths))
+    )
+    weights = np.exp(1j * rng.uniform(0.0, 2.0 * np.pi, num_elements))
+
+    def sample():
+        with use_backend(backend_name):
+            return dispatch(
+                "batch_frequency_response", steering, rotation, gains, weights
+            )
+
+    response = once(benchmark, sample)
+    assert response.shape == (num_samples, num_freqs)
+    assert np.all(np.isfinite(response))

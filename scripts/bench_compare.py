@@ -10,10 +10,14 @@ Benchmarks are matched by ``name``.  A benchmark whose mean time exceeds
 the baseline mean by more than ``--fail-above`` (fractional, default 20%)
 fails the run; regressions above ``--warn-above`` only warn.  Benchmarks
 present on one side only are reported but never fail — the baseline is
-refreshed deliberately, not implicitly.
+refreshed deliberately, not implicitly.  A run whose selection shares
+*no* names with the baseline (e.g. a ``-k`` filtered CI shard, or a new
+benchmark file awaiting a baseline refresh) passes with a warning for
+the same reason; only an input with an empty ``benchmarks`` list is an
+error, because it means the run produced nothing at all.
 
 Exit status: 0 when no benchmark regresses past the fail threshold,
-1 otherwise, 2 on malformed input.
+1 otherwise, 2 on malformed or empty input.
 """
 
 from __future__ import annotations
@@ -109,9 +113,15 @@ def main(argv=None) -> int:
         f"compared {compared} benchmark(s): "
         f"{len(failures)} fail, {len(warnings)} warn"
     )
-    if compared == 0:
-        print("error: no overlapping benchmarks to compare", file=sys.stderr)
+    if not new:
+        print(f"error: {args.new} contains no benchmarks", file=sys.stderr)
         return 2
+    if compared == 0:
+        print(
+            "warning: no overlapping benchmarks to compare "
+            "(one-sided entries reported above)",
+            file=sys.stderr,
+        )
     return 1 if failures else 0
 
 

@@ -19,6 +19,7 @@ from scipy.optimize import brentq
 
 from repro.arrays.geometry import UniformLinearArray
 from repro.arrays.steering import cached_steering_matrix, steering_vector
+from repro.perf.backend import dispatch
 
 __all__ = [
     "array_factor",
@@ -45,7 +46,15 @@ def array_factor(
         a = cached_steering_matrix(array, angles)  # (num, N)
     else:
         a = steering_vector(array, angles)  # (..., N)
-    return a @ np.asarray(weights, dtype=complex)
+    w = np.asarray(weights, dtype=complex)
+    if a.ndim == 2:
+        return dispatch("array_factor", np.ascontiguousarray(a), w)
+    # Scalar / multi-dim angle grids: flatten to (num, N) for the kernel,
+    # then restore the angle shape (scalar angles return a numpy scalar,
+    # matching the pre-seam `a @ w` behavior).
+    flat = np.ascontiguousarray(a.reshape(-1, a.shape[-1]))
+    result = dispatch("array_factor", flat, w)
+    return result.reshape(angles.shape) if angles.ndim else result[0]
 
 
 def beam_pattern_db(

@@ -31,6 +31,7 @@ import numpy as np
 from repro.arrays.geometry import UniformLinearArray
 from repro.arrays.steering import steering_vector
 from repro.channel.geometric import GeometricChannel
+from repro.perf.backend import dispatch
 
 __all__ = [
     "ChannelBatch",
@@ -149,9 +150,13 @@ class ChannelBatch:
                 -2j * np.pi * freqs[None, :, None]
                 * self.delays_s[:, None, :]
             )  # (T, F, L)
-        tx_gains = a @ np.asarray(tx_weights, dtype=complex)  # (T, L)
-        alphas = self.gains * tx_gains
-        return (rotation @ alphas[:, :, None])[:, :, 0]
+        return dispatch(
+            "batch_frequency_response",
+            a,
+            rotation,
+            np.asarray(self.gains, dtype=complex),
+            np.asarray(tx_weights, dtype=complex),
+        )
 
     def channel_at_index(self, index: int) -> GeometricChannel:
         """Materialize one sample as a plain :class:`GeometricChannel`.

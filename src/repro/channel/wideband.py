@@ -15,6 +15,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.channel.geometric import GeometricChannel
+from repro.perf.backend import dispatch
 from repro.perf.cache import BoundedCache, array_key
 from repro.utils import normalized_sinc
 
@@ -125,14 +126,14 @@ def stacked_sinc_dictionaries(
 
     Tolerance-identical to stacking ``C`` :func:`sinc_dictionary` calls
     (the arithmetic is elementwise, so in practice bitwise-identical).
+    Served by the active compute backend (:mod:`repro.perf.backend`).
     """
     delays = np.asarray(candidate_delays_s, dtype=float)
     if delays.ndim != 2:
         raise ValueError(f"delays must be 2-D (C, K), got {delays.shape}")
-    sample_times = start_time_s + np.arange(num_taps) / bandwidth_hz
-    return normalized_sinc(
-        bandwidth_hz
-        * (sample_times[None, :, None] - delays[:, None, :])
+    return dispatch(
+        "stacked_sinc_dictionaries",
+        delays, float(bandwidth_hz), int(num_taps), float(start_time_s),
     )
 
 
@@ -156,9 +157,14 @@ def dirichlet_dictionary(
     """
     delays = np.asarray(candidate_delays_s, dtype=float)
     if fast:
+        from repro.perf.backend import get_backend
+
+        # Keyed on the serving backend too: backends agree only to the
+        # documented tolerance, so a cached numba build must not be
+        # served to a numpy-backend caller (or vice versa).
         key = (
-            "dirichlet", float(bandwidth_hz), int(num_taps),
-            array_key(delays),
+            "dirichlet", get_backend().name, float(bandwidth_hz),
+            int(num_taps), array_key(delays),
         )
         return _DICTIONARY_CACHE.get_or_build(
             key,
@@ -181,18 +187,23 @@ def stacked_dirichlet_dictionaries(
 ) -> np.ndarray:
     """Dirichlet dictionaries for ``(C, K)`` delay sets, shape ``(C, F, K)``.
 
-    One batched IFFT over the tap axis replaces ``C * K`` single-column
-    builds.  Tolerance-identical to the naive path (same per-column FFT).
+    On the reference backend one batched IFFT over the tap axis replaces
+    ``C * K`` single-column builds, tolerance-identical to the naive
+    path (same per-column FFT).  Other backends may use the closed-form
+    Dirichlet sum; agreement is within the backend tolerance documented
+    in DESIGN.md.
     """
     delays = np.asarray(candidate_delays_s, dtype=float)
     if delays.ndim != 2:
         raise ValueError(f"delays must be 2-D (C, K), got {delays.shape}")
-    freqs = ofdm_frequency_grid(bandwidth_hz * 1.0, num_taps)
-    responses = np.exp(
-        -2j * np.pi * freqs[None, :, None] * delays[:, None, :]
+    if num_taps < 1:
+        raise ValueError(f"num_taps must be >= 1, got {num_taps!r}")
+    if bandwidth_hz <= 0:
+        raise ValueError(f"bandwidth_hz must be positive, got {bandwidth_hz!r}")
+    return dispatch(
+        "stacked_dirichlet_dictionaries",
+        delays, float(bandwidth_hz), int(num_taps),
     )
-    spectra = np.fft.ifftshift(responses, axes=1)
-    return np.fft.ifft(spectra, axis=1)
 
 
 def cir_from_frequency_response(

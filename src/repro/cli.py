@@ -12,6 +12,7 @@ Usage::
     python -m repro run fault_tolerance --faults faults.json
     python -m repro run --scenario quad-cell --seeds 8 --workers 4
     python -m repro run network_scale --scenario my_network.json
+    python -m repro run fig18 --backend numba
     python -m repro lint src --check-baseline
     python -m repro serve --port 7753 --journal jobs.jsonl
     python -m repro submit --port 7753 fig14 --wait
@@ -119,6 +120,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--backend",
+        default=None,
+        choices=("numpy", "numba"),
+        help=(
+            "compute backend for the hot-path kernels (default: "
+            "$REPRO_BACKEND or numpy; unavailable backends fall back "
+            "to numpy with a warning)"
+        ),
+    )
+    run.add_argument(
         "--faults",
         dest="faults_path",
         default=None,
@@ -206,6 +217,12 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--faults", dest="faults_path", default=None, metavar="PATH",
         help="load fault specs from a JSON file",
+    )
+    submit.add_argument(
+        "--backend",
+        default=None,
+        choices=("numpy", "numba"),
+        help="compute backend serving the job's kernels",
     )
     submit.add_argument(
         "--priority", default="batch",
@@ -306,7 +323,7 @@ def _append_perf_counters(recorder) -> None:
     fields = {
         name: value
         for name, value in snapshot["counters"].items()
-        if name.startswith(("perf.cache.", "sim."))
+        if name.startswith(("perf.cache.", "perf.backend.", "sim."))
     }
     fields.update(
         (name, value)
@@ -379,6 +396,7 @@ def command_run(
     fault_args: Optional[List[str]] = None,
     faults_path: Optional[str] = None,
     scenario: Optional[str] = None,
+    backend: Optional[str] = None,
     out=sys.stdout,
 ) -> int:
     scenario_spec = None
@@ -410,10 +428,20 @@ def command_run(
             telemetry=trace_path is not None,
             faults=faults,
             scenario=scenario_spec,
+            backend=backend,
         )
     except ValueError as error:
         out.write(f"error: {error}\n")
         return 2
+    if backend is not None:
+        # Export for process-pool ensemble workers: the thread-scoped
+        # activation in Experiment.run does not cross process
+        # boundaries, so workers re-resolve from the environment.
+        import os
+
+        from repro.perf.backend import BACKEND_ENV_VAR
+
+        os.environ[BACKEND_ENV_VAR] = config.backend or backend
 
     recorder = None
     if trace_path is not None:
@@ -546,6 +574,7 @@ def command_submit(
     priority: str = "batch",
     deadline_s: Optional[float] = None,
     duration_s: float = 0.02,
+    backend: Optional[str] = None,
     wait: bool = False,
     json_path: Optional[str] = None,
     out=sys.stdout,
@@ -581,6 +610,7 @@ def command_submit(
             duration_s=duration_s,
             priority=priority,
             deadline_s=deadline_s,
+            backend=backend,
         )
     except (TypeError, ValueError) as error:
         out.write(f"error: {error}\n")
@@ -733,6 +763,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 priority=arguments.priority,
                 deadline_s=arguments.deadline_s,
                 duration_s=arguments.duration_s,
+                backend=arguments.backend,
                 wait=arguments.wait,
                 json_path=arguments.json_path,
             )
@@ -751,6 +782,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             fault_args=arguments.faults,
             faults_path=arguments.faults_path,
             scenario=arguments.scenario,
+            backend=arguments.backend,
         )
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; not an error.

@@ -28,6 +28,7 @@ from repro.channel.wideband import (
     stacked_dirichlet_dictionaries,
     stacked_sinc_dictionaries,
 )
+from repro.perf.backend import dispatch
 
 
 def ridge_solve(
@@ -249,7 +250,7 @@ class SuperResolver:
         return (objective, grid_base, alphas, delays, residual)
 
     def _fit_stacked(self, delay_sets, cir: np.ndarray, relative: np.ndarray):
-        """Fit every candidate at once: stacked grams, one batched solve."""
+        """Fit every candidate at once via the backend's stacked solve."""
         delays = np.stack(delay_sets)  # (C, K)
         if self.kernel == "dirichlet":
             dictionaries = stacked_dirichlet_dictionaries(
@@ -259,17 +260,9 @@ class SuperResolver:
             dictionaries = stacked_sinc_dictionaries(
                 delays, self.bandwidth_hz, cir.size
             )
-        hermitian = dictionaries.conj().transpose(0, 2, 1)  # (C, K, F)
-        num_columns = delays.shape[1]
-        grams = hermitian @ dictionaries + (
-            self.regularization * np.eye(num_columns)
-        )
-        projections = hermitian @ cir  # (C, K)
-        alphas = np.linalg.solve(grams, projections[:, :, None])[:, :, 0]
-        fitted = (dictionaries @ alphas[:, :, None])[:, :, 0]  # (C, F)
-        residuals = np.linalg.norm(cir[None, :] - fitted, axis=1)
-        objectives = residuals ** 2 + (
-            self.regularization * np.sum(np.abs(alphas) ** 2, axis=1)
+        alphas, residuals, objectives = dispatch(
+            "stacked_candidate_solve",
+            dictionaries, cir, float(self.regularization),
         )
         return [
             (

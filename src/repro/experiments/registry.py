@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.faults import FaultSpec
+from repro.perf.backend import use_backend
 from repro.sim.spec import ScenarioSpec
 from repro.telemetry import (
     TelemetryRecorder,
@@ -44,7 +45,10 @@ class ExperimentConfig:
     into every ensemble the experiment runs.  ``scenario`` (CLI
     ``--scenario``) carries a :class:`~repro.sim.spec.ScenarioSpec` for
     scenario-driven experiments (``network_scale``); experiments without
-    a scenario knob ignore it.
+    a scenario knob ignore it.  ``backend`` (CLI ``--backend`` /
+    ``REPRO_BACKEND``) selects the compute backend serving the hot-path
+    kernels for the duration of the run; ``None`` defers to the
+    environment/default resolution in :mod:`repro.perf.backend`.
     """
 
     seeds: Optional[int] = None
@@ -52,12 +56,24 @@ class ExperimentConfig:
     telemetry: bool = False
     faults: Tuple[FaultSpec, ...] = ()
     scenario: Optional[ScenarioSpec] = None
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.seeds is not None and self.seeds < 1:
             raise ValueError(f"seeds must be >= 1, got {self.seeds!r}")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers!r}")
+        if self.backend is not None:
+            from repro.perf.backend import available_backends
+
+            normalized = str(self.backend).strip().lower()
+            if normalized not in available_backends():
+                known = ", ".join(sorted(available_backends()))
+                raise ValueError(
+                    f"unknown compute backend {self.backend!r}; "
+                    f"known: {known}"
+                )
+            object.__setattr__(self, "backend", normalized)
         faults = tuple(self.faults)
         for spec in faults:
             if not isinstance(spec, FaultSpec):
@@ -115,18 +131,22 @@ class Experiment:
         active = get_recorder()
         telemetry_summary: Optional[TelemetrySummary] = None
         started = time.perf_counter()
-        if active.enabled:
-            mark = active.mark()
-            data = self.runner(config)
-            if config.telemetry:
-                telemetry_summary = active.summary(since=mark)
-        elif config.telemetry:
-            recorder = TelemetryRecorder(scope=self.identifier)
-            with use_recorder(recorder):
+        # Thread-scoped backend activation: process-pool ensemble workers
+        # do not inherit it, they resolve REPRO_BACKEND themselves (the
+        # CLI exports it alongside --backend).
+        with use_backend(config.backend):
+            if active.enabled:
+                mark = active.mark()
                 data = self.runner(config)
-            telemetry_summary = recorder.summary()
-        else:
-            data = self.runner(config)
+                if config.telemetry:
+                    telemetry_summary = active.summary(since=mark)
+            elif config.telemetry:
+                recorder = TelemetryRecorder(scope=self.identifier)
+                with use_recorder(recorder):
+                    data = self.runner(config)
+                telemetry_summary = recorder.summary()
+            else:
+                data = self.runner(config)
         return ExperimentResult(
             identifier=self.identifier,
             title=self.title,

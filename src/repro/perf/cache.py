@@ -22,6 +22,7 @@ shared; callers must copy before mutating (none of the hot paths do).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Callable, Dict, Hashable, Optional, TypeVar, cast
 
@@ -44,6 +45,14 @@ def _freeze(value: _T) -> _T:
 class BoundedCache:
     """A named, size-bounded LRU cache with telemetry counters.
 
+    Thread-safe: the serve layer's worker threads hit the process-wide
+    caches concurrently, so every read-modify-write on the LRU order,
+    the size bound, and the hit/miss tallies happens under one
+    re-entrant lock.  A miss builds *inside* the lock — concurrent
+    requests for the same key therefore build exactly once, trading a
+    little build-time serialization for single-build semantics (the
+    cached kernels build in microseconds-to-milliseconds).
+
     Parameters
     ----------
     name:
@@ -62,50 +71,56 @@ class BoundedCache:
         self.hits = 0
         self.misses = 0
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.RLock()
         _REGISTRY[name] = self
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get_or_build(self, key: Hashable, build: Callable[[], _T]) -> _T:
         """The cached value for ``key``, building and storing on a miss."""
         from repro.telemetry import get_recorder
 
         recorder = get_recorder()
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.misses += 1
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                if recorder.enabled:
+                    recorder.counter(f"perf.cache.{self.name}.misses").inc()
+                built = _freeze(build())
+                self._entries[key] = built
+                if len(self._entries) > self.maxsize:
+                    self._entries.popitem(last=False)
+                return built
+            self.hits += 1
             if recorder.enabled:
-                recorder.counter(f"perf.cache.{self.name}.misses").inc()
-            built = _freeze(build())
-            self._entries[key] = built
-            if len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
-            return built
-        self.hits += 1
-        if recorder.enabled:
-            recorder.counter(f"perf.cache.{self.name}.hits").inc()
-        self._entries.move_to_end(key)
-        # The registry is type-erased: every entry for ``key`` was built
-        # by this method with the same build callable.
-        return cast(_T, value)
+                recorder.counter(f"perf.cache.{self.name}.hits").inc()
+            self._entries.move_to_end(key)
+            # The registry is type-erased: every entry for ``key`` was
+            # built by this method with the same build callable.
+            return cast(_T, value)
 
     def invalidate(self, key: Hashable) -> bool:
         """Drop one entry; returns whether it existed."""
-        return self._entries.pop(key, None) is not None
+        with self._lock:
+            return self._entries.pop(key, None) is not None
 
     def clear(self) -> None:
         """Drop every entry (hit/miss tallies are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> Dict[str, int]:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "size": len(self._entries),
-            "maxsize": self.maxsize,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+            }
 
 
 def clear_caches(name: Optional[str] = None) -> None:

@@ -1,0 +1,20 @@
+# lint-fixture: relpath=src/repro/perf/_fixture_kernels_clean.py
+"""A pure backend-kernel module that must produce zero findings.
+
+Also proves the marker is load-bearing: the sibling module below uses
+RNG *without* the marker and stays silent under RL310/RL311 (the
+general RNG rules still apply on their own scopes).
+"""
+
+import math
+
+import numpy as np
+
+__backend_kernels__ = True
+
+
+def pure_kernel(values, scale):
+    out = np.empty_like(values)
+    for index in range(values.shape[0]):
+        out[index] = values[index] * scale + math.sin(float(index))
+    return out

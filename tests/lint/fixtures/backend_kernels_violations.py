@@ -1,0 +1,21 @@
+# lint-fixture: relpath=src/repro/perf/_fixture_kernels.py
+"""Backend-kernel purity fixtures: RNG and telemetry inside kernels."""
+
+import random  # expect: RL310
+
+import numpy as np
+
+from repro.telemetry import get_recorder  # expect: RL311
+
+__backend_kernels__ = True
+
+
+def noisy_kernel(taps, seed):
+    rng = np.random.default_rng(seed)  # expect: RL310
+    jitter = random.random()  # expect: RL310
+    return rng.standard_normal(taps) * jitter
+
+
+def chatty_kernel(values):
+    get_recorder().counter("perf.backend.cheat").inc()  # expect: RL311
+    return values * 2.0

@@ -1,0 +1,181 @@
+"""Tests for the compute-backend registry, resolution, and dispatch."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.perf import backend as backend_module
+from repro.perf.backend import (
+    BACKEND_ENV_VAR,
+    DEFAULT_BACKEND,
+    ComputeBackend,
+    available_backends,
+    dispatch,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from repro.perf.kernels_numba import NUMBA_AVAILABLE
+from repro.telemetry import TelemetryRecorder, use_recorder
+
+
+@pytest.fixture(autouse=True)
+def _clean_backend_state(monkeypatch):
+    """Each test starts from env-default resolution on this thread."""
+    monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+    backend_module._ACTIVE.stack = []
+    yield
+    backend_module._ACTIVE.stack = []
+
+
+class TestRegistry:
+    def test_both_backends_are_registered(self):
+        names = available_backends()
+        assert names["numpy"] is True
+        assert "numba" in names
+
+    def test_numba_availability_tracks_import(self):
+        assert available_backends()["numba"] is NUMBA_AVAILABLE
+
+    def test_duplicate_registration_is_an_error(self):
+        with pytest.raises(ValueError, match="already exists"):
+            register_backend(ComputeBackend("numpy", {}))
+
+    def test_backend_name_must_be_non_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ComputeBackend("", {})
+
+    def test_repr_reports_availability(self):
+        stub = ComputeBackend("stub", {}, available=False, requires="dep")
+        assert "unavailable" in repr(stub)
+        assert "dep" in repr(stub)
+
+
+class TestResolution:
+    def test_default_is_numpy(self):
+        assert resolve_backend(None).name == DEFAULT_BACKEND
+
+    def test_unknown_name_is_an_error(self):
+        with pytest.raises(ValueError, match="unknown compute backend"):
+            resolve_backend("cuda")
+
+    def test_name_is_normalized(self):
+        assert resolve_backend("  NumPy  ").name == "numpy"
+
+    def test_env_var_is_consulted(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        assert resolve_backend(None).name == "numpy"
+
+    def test_empty_env_var_means_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "")
+        assert resolve_backend(None).name == DEFAULT_BACKEND
+
+    def test_unavailable_backend_falls_back_with_one_warning(
+        self, monkeypatch
+    ):
+        monkeypatch.setattr(backend_module, "_WARNED", set())
+        stub = ComputeBackend(
+            "stub-unavailable", {}, available=False, requires="nothing"
+        )
+        monkeypatch.setitem(
+            backend_module._BACKENDS, "stub-unavailable", stub
+        )
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            resolved = resolve_backend("stub-unavailable")
+        assert resolved.name == DEFAULT_BACKEND
+        # Second resolution: silent (the warning is once per backend).
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            assert resolve_backend("stub-unavailable").name == DEFAULT_BACKEND
+
+    def test_fallback_bumps_telemetry_counter(self, monkeypatch):
+        monkeypatch.setattr(backend_module, "_WARNED", {"stub-fb"})
+        stub = ComputeBackend("stub-fb", {}, available=False)
+        monkeypatch.setitem(backend_module._BACKENDS, "stub-fb", stub)
+        recorder = TelemetryRecorder()
+        with use_recorder(recorder):
+            resolve_backend("stub-fb")
+        snapshot = recorder.metrics.snapshot()
+        assert snapshot["counters"]["perf.backend.fallback"] == 1
+
+
+class TestActivation:
+    def test_use_backend_scopes_to_the_block(self):
+        assert get_backend().name == DEFAULT_BACKEND
+        with use_backend("numpy") as active:
+            assert active.name == "numpy"
+            assert get_backend() is active
+        assert get_backend().name == DEFAULT_BACKEND
+
+    def test_use_backend_nests(self):
+        with use_backend("numpy"):
+            with use_backend(None):
+                assert get_backend().name == DEFAULT_BACKEND
+            assert get_backend().name == "numpy"
+
+    def test_set_backend_pins_until_reset(self):
+        set_backend("numpy")
+        assert get_backend().name == "numpy"
+
+    def test_activation_is_thread_scoped(self, monkeypatch):
+        stub = ComputeBackend("stub-thread", {})
+        monkeypatch.setitem(backend_module._BACKENDS, "stub-thread", stub)
+        seen = {}
+
+        def worker():
+            seen["other"] = get_backend().name
+
+        with use_backend("stub-thread"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+            assert get_backend().name == "stub-thread"
+        # The spawned thread never saw this thread's activation.
+        assert seen["other"] == DEFAULT_BACKEND
+
+
+class TestDispatch:
+    def test_dispatch_runs_the_active_backends_kernel(self, monkeypatch):
+        calls = []
+        stub = ComputeBackend(
+            "stub-k", {"array_factor": lambda *a: calls.append(a) or 7}
+        )
+        monkeypatch.setitem(backend_module._BACKENDS, "stub-k", stub)
+        with use_backend("stub-k"):
+            assert dispatch("array_factor", 1, 2) == 7
+        assert calls == [(1, 2)]
+
+    def test_missing_kernel_is_served_by_the_reference(self, monkeypatch):
+        stub = ComputeBackend("stub-empty", {})
+        monkeypatch.setitem(backend_module._BACKENDS, "stub-empty", stub)
+        steering = np.exp(1j * np.arange(6.0)).reshape(2, 3)
+        weights = np.ones(3, dtype=complex)
+        with use_backend("stub-empty"):
+            result = dispatch("array_factor", steering, weights)
+        np.testing.assert_array_equal(result, steering @ weights)
+
+    def test_dispatch_counts_the_serving_backend(self, monkeypatch):
+        stub = ComputeBackend("stub-count", {})
+        monkeypatch.setitem(backend_module._BACKENDS, "stub-count", stub)
+        steering = np.ones((1, 2), dtype=complex)
+        weights = np.ones(2, dtype=complex)
+        recorder = TelemetryRecorder()
+        with use_recorder(recorder):
+            with use_backend("stub-count"):
+                dispatch("array_factor", steering, weights)
+            dispatch("array_factor", steering, weights)
+        counters = recorder.metrics.snapshot()["counters"]
+        # Both calls were *served* by numpy: one via fallthrough from
+        # the kernel-less stub, one directly.
+        assert counters["perf.backend.numpy.array_factor"] == 2
+
+    def test_dispatch_is_silent_without_telemetry(self):
+        steering = np.ones((1, 2), dtype=complex)
+        weights = np.ones(2, dtype=complex)
+        result = dispatch("array_factor", steering, weights)
+        np.testing.assert_array_equal(result, steering @ weights)

@@ -144,3 +144,73 @@ class TestLiveCaches:
         first = uniform_codebook(array, 9)
         second = uniform_codebook(array, 9)
         assert first is second
+
+
+class TestConcurrency:
+    """The serve thread pool hammers the process-wide caches; the lock
+    must keep the LRU bound and the hit/miss tallies consistent."""
+
+    @pytest.fixture
+    def shared(self):
+        name = "test.cache.concurrent"
+        _REGISTRY.pop(name, None)
+        cache = BoundedCache(name, maxsize=8)
+        yield cache
+        _REGISTRY.pop(name, None)
+
+    def _hammer(self, cache, num_threads, calls_per_thread, key_space):
+        import threading
+
+        builds = []
+        build_lock = threading.Lock()
+        barrier = threading.Barrier(num_threads)
+        errors = []
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            barrier.wait()
+            try:
+                for _ in range(calls_per_thread):
+                    key = int(rng.integers(key_space))
+
+                    def build(key=key):
+                        with build_lock:
+                            builds.append(key)
+                        return np.full(4, float(key))
+
+                    value = cache.get_or_build(key, build)
+                    assert value[0] == float(key)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        return builds
+
+    def test_tallies_stay_consistent_under_contention(self, shared):
+        num_threads, calls = 8, 200
+        builds = self._hammer(shared, num_threads, calls, key_space=32)
+        total = num_threads * calls
+        # Every call is exactly one hit or one miss, and every miss ran
+        # exactly one build (no lost updates, no double builds).
+        assert shared.hits + shared.misses == total
+        assert shared.misses == len(builds)
+        assert shared.hits == total - len(builds)
+
+    def test_eviction_bound_holds_under_contention(self, shared):
+        self._hammer(shared, 8, 200, key_space=64)
+        assert len(shared) <= shared.maxsize
+        assert shared.stats()["size"] <= shared.maxsize
+
+    def test_single_build_per_key_when_keys_fit(self, shared):
+        # Key space within maxsize: no evictions, so each key must have
+        # been built exactly once no matter how many threads raced it.
+        builds = self._hammer(shared, 8, 100, key_space=8)
+        assert sorted(set(builds)) == sorted(builds)

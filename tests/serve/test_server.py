@@ -385,6 +385,10 @@ class TestWireProtocol:
             )
             await server.start()
             try:
+                # Park a filler job on the lone worker first: the doomed
+                # job stays pending until after the wait subscription
+                # below is live, so no lifecycle event can be missed.
+                await server.submit(dict(MICRO_JOB))
                 submitted = await server.submit(dict(DOOMED_JOB))
                 reader, writer = await asyncio.open_connection(
                     server.host, server.port

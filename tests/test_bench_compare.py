@@ -76,9 +76,20 @@ class TestBenchCompare:
         assert "not in this run" in out
         assert "new benchmark without baseline: bench_new" in out
 
-    def test_no_overlap_is_an_error(self, tmp_path, baseline):
+    def test_no_overlap_passes_with_warning(self, tmp_path, baseline, capsys):
+        # A -k filtered shard or a brand-new benchmark file legitimately
+        # shares nothing with the baseline; that is a warning, not a
+        # failure (one-sided entries never fail by design).
         new = write_run(tmp_path / "new.json", {"other": 1.0})
+        assert run_main(new, baseline) == 0
+        captured = capsys.readouterr()
+        assert "no overlapping benchmarks" in captured.err
+        assert "new benchmark without baseline: other" in captured.out
+
+    def test_empty_run_is_an_error(self, tmp_path, baseline, capsys):
+        new = write_run(tmp_path / "new.json", {})
         assert run_main(new, baseline) == 2
+        assert "contains no benchmarks" in capsys.readouterr().err
 
     def test_malformed_json_exits_2(self, tmp_path, baseline):
         bad = tmp_path / "bad.json"
