@@ -195,12 +195,22 @@ def submit_all(
 
 
 def wait_for_drain(port: int, timeout_s: float = 600.0) -> Dict[str, Any]:
-    """Block until the queue is empty and nothing is running."""
+    """Block until the queue is empty and nothing runs or backs off.
+
+    A job between retry attempts is neither queued nor running, so the
+    drain check must also wait for the backoff count to hit zero —
+    otherwise a shutdown cancels the pending retry and the job never
+    reaches a terminal state.
+    """
     client = JobClient(port=port, timeout_s=30.0)
     deadline = time.monotonic() + timeout_s
     while True:
         stats = client.stats()
-        if stats["queue_depth"] == 0 and stats["running"] == 0:
+        if (
+            stats["queue_depth"] == 0
+            and stats["running"] == 0
+            and stats.get("backoffs", 0) == 0
+        ):
             return stats
         if time.monotonic() > deadline:
             raise RuntimeError(
@@ -359,6 +369,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     server.stop()
 
     audit, violations = audit_journal(journal)
+    # With REPRO_SANITIZE=1 the server folds its runtime-sanitizer
+    # report tally into the stats payload; any nonzero count (a blocked
+    # event loop, an incoherent cache) is an invariant violation.
+    for kind, count in sorted((stats.get("sanitize") or {}).items()):
+        if count:
+            violations.append(
+                f"sanitizer reported {count} {kind!r} violation(s)"
+            )
     jobs_per_second = audit["executions"] / elapsed_s if elapsed_s else 0.0
 
     result = {

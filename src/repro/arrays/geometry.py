@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.utils import wavelength as carrier_wavelength
+from repro.utils.units import power_linear_to_db
 from repro.utils.validation import check_positive
 
 __all__ = [
@@ -75,7 +76,7 @@ class UniformLinearArray:
 
     def max_gain_dbi(self) -> float:
         """Peak broadside array gain, ``10 log10(N)`` for isotropic elements."""
-        return 10.0 * np.log10(self.num_elements)
+        return float(power_linear_to_db(self.num_elements))
 
 
 @dataclass(frozen=True)
@@ -117,11 +118,11 @@ class UniformPlanarArray:
 
     def elevation_gain_db(self) -> float:
         """Fixed gain contributed by the (unsteered) elevation dimension."""
-        return 10.0 * np.log10(self.num_elevation)
+        return float(power_linear_to_db(self.num_elevation))
 
     def max_gain_dbi(self) -> float:
         """Peak broadside gain of the full planar aperture."""
-        return 10.0 * np.log10(self.num_elements)
+        return float(power_linear_to_db(self.num_elements))
 
 
 #: The paper's testbed array: 8x8 elements at 28 GHz, lambda/2 spacing.

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.arrays.geometry import UniformLinearArray
 from repro.channel.geometric import GeometricChannel
+from repro.utils.units import power_db_to_linear, power_linear_to_db
 
 __all__ = [
     "HybridBeamformer",
@@ -99,7 +100,7 @@ class HybridBeamformer:
         signal = powers[serving_chain]
         interference = float(np.sum(powers)) - signal
         return float(
-            10.0 * np.log10(signal / (interference + noise_power_watt))
+            power_linear_to_db(signal / (interference + noise_power_watt))
         )
 
     def sum_spectral_efficiency(
@@ -114,7 +115,7 @@ class HybridBeamformer:
             sinr_db = self.sinr_db(
                 user_channels, chain, transmit_power_watt, noise_power_watt
             )
-            total += float(np.log2(1.0 + 10.0 ** (sinr_db / 10.0)))
+            total += float(np.log2(1.0 + power_db_to_linear(sinr_db)))
         return total
 
 

@@ -20,6 +20,7 @@ from scipy.optimize import brentq
 from repro.arrays.geometry import UniformLinearArray
 from repro.arrays.steering import cached_steering_matrix, steering_vector
 from repro.perf.backend import dispatch
+from repro.utils.units import power_db_to_linear, power_linear_to_db
 
 __all__ = [
     "array_factor",
@@ -66,7 +67,7 @@ def beam_pattern_db(
     """Power pattern ``|a^T w|^2`` in dB, floored to avoid log-of-zero."""
     power = np.abs(array_factor(array, weights, angles_rad)) ** 2
     with np.errstate(divide="ignore"):
-        db = 10.0 * np.log10(power)
+        db = power_linear_to_db(power)
     return np.maximum(db, floor_db)
 
 
@@ -128,7 +129,7 @@ def ula_power_pattern_db(
         num_elements, offset_rad, steer_angle_rad, spacing_wavelengths
     )
     with np.errstate(divide="ignore"):
-        db = 10.0 * np.log10(power)
+        db = power_linear_to_db(power)
     return np.maximum(db, floor_db)
 
 
@@ -208,7 +209,7 @@ def invert_pattern_offset(
         )
     if power_drop_db == 0:
         return 0.0
-    target = 10.0 ** (-power_drop_db / 10.0)
+    target = float(power_db_to_linear(-power_drop_db))
     null = first_null_offset(num_elements, steer_angle_rad, spacing_wavelengths)
 
     def objective(offset: float) -> float:

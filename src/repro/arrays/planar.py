@@ -24,6 +24,7 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from repro.arrays.geometry import UniformPlanarArray
+from repro.utils.units import power_linear_to_db
 
 __all__ = [
     "planar_steering_vector",
@@ -132,5 +133,5 @@ def elevation_cut_pattern_db(
         ]
     )
     with np.errstate(divide="ignore"):
-        db = 10.0 * np.log10(powers)
+        db = power_linear_to_db(powers)
     return np.maximum(db, floor_db)

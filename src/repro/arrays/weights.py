@@ -19,6 +19,7 @@ from typing import Optional
 import numpy as np
 
 from repro.utils import unit_vector
+from repro.utils.units import db_to_linear, linear_to_db
 
 __all__ = [
     "BeamWeights",
@@ -130,18 +131,18 @@ class WeightQuantizer:
         peak = np.max(amplitudes)
         if peak == 0:
             return amplitudes
-        floor = peak * 10.0 ** (-self.amplitude_range_db / 20.0)
+        floor = peak * float(db_to_linear(-self.amplitude_range_db))
         clipped = np.where(amplitudes < floor, floor, amplitudes)
         if self.amplitude_bits is None:
             return clipped
         # Discretize the attenuation (in dB below the peak) into 2^bits steps.
         levels = 2 ** self.amplitude_bits
-        atten_db = -20.0 * np.log10(clipped / peak)
+        atten_db = -linear_to_db(clipped / peak)
         step_db = self.amplitude_range_db / (levels - 1) if levels > 1 else np.inf
         snapped_db = (
             np.round(atten_db / step_db) * step_db if np.isfinite(step_db) else 0.0
         )
-        return peak * 10.0 ** (-np.asarray(snapped_db) / 20.0)
+        return peak * db_to_linear(-np.asarray(snapped_db))
 
     def apply(self, weights: BeamWeights) -> BeamWeights:
         """Quantize a weight vector and re-normalize to unit norm."""

@@ -24,6 +24,7 @@ from typing import List, Sequence, Tuple
 import numpy as np
 
 from repro.utils import ensure_rng
+from repro.utils.units import db_to_linear
 
 __all__ = [
     "DEFAULT_DEPTH_DB",
@@ -131,7 +132,7 @@ class BlockageSchedule:
 
     def amplitude_factors(self, time_s: float, num_paths: int) -> np.ndarray:
         """Per-path linear amplitude multipliers at an instant."""
-        return 10.0 ** (-self.attenuation_db(time_s, num_paths) / 20.0)
+        return db_to_linear(-self.attenuation_db(time_s, num_paths))
 
     def attenuation_db_batch(
         self, times_s: np.ndarray, num_paths: int
@@ -154,7 +155,7 @@ class BlockageSchedule:
         self, times_s: np.ndarray, num_paths: int
     ) -> np.ndarray:
         """Per-path amplitude multipliers for a time array, ``(T, num_paths)``."""
-        return 10.0 ** (-self.attenuation_db_batch(times_s, num_paths) / 20.0)
+        return db_to_linear(-self.attenuation_db_batch(times_s, num_paths))
 
     def blocks_everything(self, time_s: float, num_paths: int,
                           threshold_db: float = 15.0) -> bool:

@@ -23,6 +23,7 @@ from repro.channel.geometric import GeometricChannel
 from repro.channel.paths import Path
 from repro.channel.pathloss import friis_path_loss_db
 from repro.utils import SPEED_OF_LIGHT, ensure_rng
+from repro.utils.units import db_to_linear, power_linear_to_db
 
 __all__ = [
     "ClusterProfile",
@@ -112,7 +113,7 @@ def generate_clustered_channel(
     rng = ensure_rng(rng)
     carrier = array.carrier_frequency_hz
     loss_db = friis_path_loss_db(distance_m, carrier) + extra_loss_db
-    los_amplitude = 10.0 ** (-loss_db / 20.0)
+    los_amplitude = float(db_to_linear(-loss_db))
     los_delay = distance_m / SPEED_OF_LIGHT
     los_phase = rng.uniform(0.0, 2 * np.pi)
     paths = [
@@ -135,7 +136,7 @@ def generate_clustered_channel(
             profile.cluster_attenuation_std_db,
         )
         attenuation_db = max(attenuation_db, 0.5)
-        cluster_amplitude = los_amplitude * 10.0 ** (-attenuation_db / 20.0)
+        cluster_amplitude = los_amplitude * float(db_to_linear(-attenuation_db))
         excess = float(rng.exponential(profile.delay_spread_s))
         ray_amplitude = cluster_amplitude / np.sqrt(profile.rays_per_cluster)
         for ray in range(profile.rays_per_cluster):
@@ -184,4 +185,4 @@ def cluster_relative_attenuation_db(channel: GeometricChannel) -> float:
     if los_power == 0 or not cluster_powers:
         raise ValueError("channel lacks a LOS path or clusters")
     best = max(cluster_powers.values())
-    return float(10.0 * np.log10(los_power / best))
+    return float(power_linear_to_db(los_power / best))

@@ -26,6 +26,7 @@ from repro.channel.pathloss import (
     reflection_loss_db,
 )
 from repro.utils import SPEED_OF_LIGHT, ensure_rng, wrap_angle
+from repro.utils.units import db_to_linear
 
 __all__ = [
     "Reflector",
@@ -135,7 +136,7 @@ def _path_gain(
     loss_db += atmospheric_absorption_db_per_km(carrier_hz) * (length_m / 1000.0)
     for material in reflection_materials:
         loss_db += reflection_loss_db(material)
-    amplitude = 10.0 ** (-loss_db / 20.0)
+    amplitude = float(db_to_linear(-loss_db))
     delay = length_m / SPEED_OF_LIGHT
     phase = -2.0 * np.pi * carrier_hz * delay
     return amplitude * np.exp(1j * phase)

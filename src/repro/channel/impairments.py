@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.utils import ensure_rng
+from repro.utils.units import dbm_to_watt, power_linear_to_db
 
 __all__ = [
     "THERMAL_NOISE_DBM_PER_HZ",
@@ -34,7 +35,7 @@ def thermal_noise_dbm(bandwidth_hz: float, noise_figure_db: float = 7.0) -> floa
         raise ValueError(f"bandwidth_hz must be positive, got {bandwidth_hz!r}")
     return (
         THERMAL_NOISE_DBM_PER_HZ
-        + 10.0 * np.log10(bandwidth_hz)
+        + float(power_linear_to_db(bandwidth_hz))
         + noise_figure_db
     )
 
@@ -43,9 +44,7 @@ def awgn_noise_power_watt(
     bandwidth_hz: float, noise_figure_db: float = 7.0
 ) -> float:
     """Receiver noise power [W] over ``bandwidth_hz``."""
-    return 10.0 ** (
-        (thermal_noise_dbm(bandwidth_hz, noise_figure_db) - 30.0) / 10.0
-    )
+    return float(dbm_to_watt(thermal_noise_dbm(bandwidth_hz, noise_figure_db)))
 
 
 @dataclass

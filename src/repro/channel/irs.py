@@ -21,6 +21,7 @@ import numpy as np
 from repro.channel.paths import Path
 from repro.channel.pathloss import friis_path_loss_db
 from repro.utils import SPEED_OF_LIGHT, wrap_angle
+from repro.utils.units import db_to_linear, linear_to_db
 
 __all__ = [
     "IntelligentSurface",
@@ -62,7 +63,7 @@ class IntelligentSurface:
     def beamforming_gain_db(self) -> float:
         """Gain of the configured panel toward its target pair."""
         return float(
-            min(20.0 * np.log10(self.num_elements), self.max_gain_db)
+            min(float(linear_to_db(self.num_elements)), self.max_gain_db)
         )
 
     def with_configuration(self, configured: bool) -> "IntelligentSurface":
@@ -99,7 +100,7 @@ class IntelligentSurface:
             loss_db += self.unconfigured_loss_db
         total = d1 + d2
         delay = total / SPEED_OF_LIGHT
-        amplitude = 10.0 ** (-loss_db / 20.0)
+        amplitude = float(db_to_linear(-loss_db))
         phase = -2.0 * np.pi * carrier_frequency_hz * delay
         aod = wrap_angle(
             np.arctan2(leg1[1], leg1[0]) - tx_boresight_rad

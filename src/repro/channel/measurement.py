@@ -24,6 +24,7 @@ from repro.channel.environment import (
 from repro.channel.geometric import GeometricChannel
 from repro.channel.mobility import Trajectory
 from repro.utils import ensure_rng
+from repro.utils.units import power_linear_to_db
 
 __all__ = [
     "sample_indoor_location",
@@ -150,5 +151,5 @@ def spatial_power_heatmap(
             weights = single_beam_weights(array, float(angle))
             response = channel.frequency_response(weights, [0.0])[0]
             power = abs(response) ** 2
-            heatmap[i, j] = 10.0 * np.log10(power) if power > 0 else -np.inf
+            heatmap[i, j] = power_linear_to_db(power) if power > 0 else -np.inf
     return heatmap

@@ -19,6 +19,7 @@ from typing import Dict
 import numpy as np
 
 from repro.utils import SPEED_OF_LIGHT
+from repro.utils.units import db_to_linear, linear_to_db
 
 __all__ = [
     "MATERIAL_REFLECTION_LOSS_DB",
@@ -65,9 +66,9 @@ def friis_path_loss_db(distance_m: float, carrier_frequency_hz: float) -> float:
         raise ValueError(
             f"carrier_frequency_hz must be positive, got {carrier_frequency_hz!r}"
         )
-    return 20.0 * np.log10(
+    return float(linear_to_db(
         4.0 * np.pi * distance_m * carrier_frequency_hz / SPEED_OF_LIGHT
-    )
+    ))
 
 
 def atmospheric_absorption_db_per_km(carrier_frequency_hz: float) -> float:
@@ -114,9 +115,8 @@ def path_amplitude(
     material: str = "concrete",
 ) -> float:
     """Linear amplitude gain of a path (``10^(-loss/20)``)."""
-    return 10.0 ** (
+    return float(db_to_linear(
         -total_path_loss_db(
             distance_m, carrier_frequency_hz, num_reflections, material
         )
-        / 20.0
-    )
+    ))

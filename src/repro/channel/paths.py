@@ -14,6 +14,8 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from repro.utils.units import power_linear_to_db
+
 __all__ = [
     "Path",
     "sort_by_power",
@@ -61,7 +63,7 @@ class Path:
         """Path power in dB."""
         if self.gain == 0:
             return -np.inf
-        return 10.0 * np.log10(self.power)
+        return float(power_linear_to_db(self.power))
 
     # The copy-with-change helpers below construct directly instead of
     # going through dataclasses.replace: they sit on the simulator's

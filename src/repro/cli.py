@@ -513,6 +513,7 @@ def command_serve(
     import asyncio
     import contextlib
     import signal
+    from pathlib import Path
 
     from repro.serve import JobServer, RetryPolicy
 
@@ -550,8 +551,11 @@ def command_serve(
         )
         out.flush()
         if ready_file is not None:
-            with open(ready_file, "w", encoding="utf-8") as stream:
-                stream.write(f"{server.host}:{server.port}\n")
+            await asyncio.to_thread(
+                Path(ready_file).write_text,
+                f"{server.host}:{server.port}\n",
+                encoding="utf-8",
+            )
         await server.wait_stopped()
 
     try:

@@ -17,6 +17,7 @@ import numpy as np
 from repro.arrays.delay_array import DelayPhasedArray
 from repro.arrays.geometry import UniformLinearArray
 from repro.channel.geometric import GeometricChannel
+from repro.utils.units import power_linear_to_db
 
 
 def compensating_delays(path_delays_s: Sequence[float]) -> np.ndarray:
@@ -85,7 +86,7 @@ def band_response_db(
     response = channel.frequency_response_with_array_weights(weights, freqs)
     power = np.abs(response) ** 2
     with np.errstate(divide="ignore"):
-        db = 10.0 * np.log10(power)
+        db = power_linear_to_db(power)
     return np.maximum(db, floor_db)
 
 

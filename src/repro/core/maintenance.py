@@ -44,6 +44,7 @@ from repro.phy.mcs import OUTAGE_SNR_DB
 from repro.phy.ofdm import ChannelSounder
 from repro.phy.reference_signals import ProbeBudget, ProbeKind, ssb_duration_s
 from repro.telemetry import EventKind, get_recorder
+from repro.utils.units import power_linear_to_db
 
 #: Placeholder per-beam power [dB] for beams not transmitting this round.
 SILENT_POWER_DB = -300.0
@@ -197,7 +198,7 @@ class MultiBeamManager:
         )
         self._healthy_gains = self.multibeam.relative_gains
         self._healthy_power_db = np.array(
-            [10.0 * np.log10(max(np.mean(p), 1e-30)) for p in reference_powers]
+            [float(power_linear_to_db(max(np.mean(p), 1e-30))) for p in reference_powers]
         )
         absolute_delays = self._measure_beam_tofs(channel, angles, time_s)
         self._resolver = SuperResolver(
@@ -577,7 +578,7 @@ class MultiBeamManager:
                 )
                 probes += 1
                 self.budget.charge(ProbeKind.CSI_RS, time_s=time_s, count=1)
-                power_db = 10.0 * np.log10(max(estimate.mean_power, 1e-30))
+                power_db = float(power_linear_to_db(max(estimate.mean_power, 1e-30)))
                 if offset == 0.0:
                     center_power_db = power_db
                 if power_db > best_power_db:

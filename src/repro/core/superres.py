@@ -29,6 +29,7 @@ from repro.channel.wideband import (
     stacked_sinc_dictionaries,
 )
 from repro.perf.backend import dispatch
+from repro.utils.units import power_linear_to_db
 
 
 def ridge_solve(
@@ -134,7 +135,7 @@ class SuperResResult:
     def per_beam_power_db(self, floor_db: float = -200.0) -> np.ndarray:
         power = self.per_beam_power()
         with np.errstate(divide="ignore"):
-            db = 10.0 * np.log10(power)
+            db = power_linear_to_db(power)
         return np.maximum(db, floor_db)
 
 

@@ -22,6 +22,7 @@ import numpy as np
 from scipy.optimize import brentq
 
 from repro.arrays.patterns import first_null_offset, ula_power_pattern
+from repro.utils.units import power_db_to_linear, power_linear_to_db
 
 
 def associate_beams(
@@ -107,7 +108,7 @@ class UeMisalignmentEstimator:
                 self.ue_elements, offset, ue_beam_angle_rad,
                 self.spacing_wavelengths,
             )
-            return -10.0 * np.log10(max(gnb * ue, 1e-30)) - power_drop_db
+            return -float(power_linear_to_db(max(gnb * ue, 1e-30))) - power_drop_db
 
         edge = min(
             first_null_offset(
@@ -130,7 +131,7 @@ class UeMisalignmentEstimator:
             )
         if power_drop_db == 0:
             return 0.0
-        target = 10.0 ** (-power_drop_db / 10.0)
+        target = float(power_db_to_linear(-power_drop_db))
 
         def objective(offset: float) -> float:
             return (

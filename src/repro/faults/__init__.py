@@ -28,6 +28,7 @@ from repro.faults.spec import (
     FaultSpec,
     load_fault_specs,
     parse_fault,
+    parse_fault_specs,
 )
 
 __all__ = [
@@ -41,5 +42,6 @@ __all__ = [
     "install_fault_injector",
     "load_fault_specs",
     "parse_fault",
+    "parse_fault_specs",
     "wire_manager_faults",
 ]

@@ -174,6 +174,16 @@ def load_fault_specs(source: Any) -> Tuple[FaultSpec, ...]:
             document = json.load(stream)
     else:
         document = source
+    return parse_fault_specs(document)
+
+
+def parse_fault_specs(document: Any) -> Tuple[FaultSpec, ...]:
+    """Validate an already-parsed campaign document (no I/O ever).
+
+    This is the half of :func:`load_fault_specs` that event-loop code may
+    call directly: it never touches the filesystem, so converting wire
+    payloads (e.g. ``JobSpec.from_dict``) stays non-blocking.
+    """
     if isinstance(document, Mapping):
         document = document.get("faults", None)
         if document is None:

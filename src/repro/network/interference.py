@@ -29,7 +29,7 @@ its SNR samples bitwise untouched.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import TYPE_CHECKING, Tuple
 
 import numpy as np
 
@@ -38,6 +38,10 @@ from repro.arrays.steering import single_beam_weights
 from repro.channel.pathloss import friis_path_loss_db
 from repro.core.multibeam import multibeam_from_channel
 from repro.network.scheduler import CellSlotPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.network.scenario import CellConfig
+    from repro.phy.ofdm import OfdmConfig
 from repro.utils.units import power_db_to_linear, power_linear_to_db
 from repro.network.state import UserBatch
 from repro.sim.scenarios import DEFAULT_IMPLEMENTATION_LOSS_DB
@@ -178,7 +182,7 @@ class InterferenceModel:
             )
         return penalties
 
-    def _victim_noise_config(self, cell):
+    def _victim_noise_config(self, cell: "CellConfig") -> "OfdmConfig":
         """OFDM power/noise convention matching the per-link sounders."""
         from repro.phy.ofdm import OfdmConfig
 

@@ -234,7 +234,7 @@ class NetworkScenario:
     def num_cells(self) -> int:
         return len(self.cells)
 
-    def with_options(self, **changes) -> "NetworkScenario":
+    def with_options(self, **changes: object) -> "NetworkScenario":
         """A copy of this scenario with the given fields replaced."""
         return replace(self, **changes)
 
@@ -325,7 +325,9 @@ class NetworkScenario:
             name=f"{self.name}/user{user_index}",
         )
 
-    def build_manager(self, seed: int, batch: UserBatch, user_index: int):
+    def build_manager(
+        self, seed: int, batch: UserBatch, user_index: int
+    ) -> object:
         """The per-user beam manager, seeded from the user's substream."""
         if self.is_single_link:
             return self.link_manager_factory(int(seed))

@@ -27,7 +27,7 @@ with one cell, one user, no interference, and a slot share of exactly
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -115,7 +115,9 @@ class NetworkRunMetrics:
         if not self.users:
             raise ValueError("a network run needs at least one user")
 
-    def _user_values(self, getter) -> np.ndarray:
+    def _user_values(
+        self, getter: Callable[[NetworkUserMetrics], float]
+    ) -> np.ndarray:
         return np.asarray([getter(u) for u in self.users], dtype=float)
 
     @property
@@ -238,7 +240,7 @@ class NetworkSimulator:
     fast: bool = True
     _injector: Optional[object] = field(default=None, init=False, repr=False)
 
-    def install_fault_injector(self, injector) -> None:
+    def install_fault_injector(self, injector: object) -> None:
         """Arm a fault injector for every per-user link of this run.
 
         The injector is wired into each user's manager/sounder as the

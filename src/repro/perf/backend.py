@@ -98,7 +98,10 @@ class ComputeBackend:
 _BACKENDS: Dict[str, ComputeBackend] = {}
 
 #: Backends whose unavailability we already warned about (once each).
+#: Guarded by ``_WARNED_LOCK``: resolve_backend runs on serve's worker
+#: threads, and an unlocked check-then-add races under concurrency.
 _WARNED: Set[str] = set()
+_WARNED_LOCK = threading.Lock()
 
 #: Per-thread stack of explicitly activated backends.
 _ACTIVE = threading.local()
@@ -141,8 +144,11 @@ def resolve_backend(name: Optional[str] = None) -> ComputeBackend:
         ) from None
     if backend.available:
         return backend
-    if backend.name not in _WARNED:
-        _WARNED.add(backend.name)
+    with _WARNED_LOCK:
+        first_fallback = backend.name not in _WARNED
+        if first_fallback:
+            _WARNED.add(backend.name)
+    if first_fallback:
         needs = f" (install {backend.requires})" if backend.requires else ""
         warnings.warn(
             f"compute backend {backend.name!r} is unavailable{needs}; "

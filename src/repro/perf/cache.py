@@ -32,7 +32,10 @@ import numpy.typing as npt
 _T = TypeVar("_T")
 
 #: Process-wide registry of every live cache, keyed by cache name.
+#: Guarded by ``_REGISTRY_LOCK``: caches register at import time today,
+#: but serve worker threads snapshot/clear the registry concurrently.
 _REGISTRY: Dict[str, "BoundedCache"] = {}
+_REGISTRY_LOCK = threading.Lock()
 
 
 def _freeze(value: _T) -> _T:
@@ -64,15 +67,17 @@ class BoundedCache:
     def __init__(self, name: str, maxsize: int = 256) -> None:
         if maxsize < 1:
             raise ValueError(f"maxsize must be >= 1, got {maxsize!r}")
-        if name in _REGISTRY:
-            raise ValueError(f"a cache named {name!r} already exists")
         self.name = name
         self.maxsize = int(maxsize)
         self.hits = 0
         self.misses = 0
+        self.lookups = 0
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self._lock = threading.RLock()
-        _REGISTRY[name] = self
+        with _REGISTRY_LOCK:
+            if name in _REGISTRY:
+                raise ValueError(f"a cache named {name!r} already exists")
+            _REGISTRY[name] = self
 
     def __len__(self) -> int:
         with self._lock:
@@ -84,6 +89,7 @@ class BoundedCache:
 
         recorder = get_recorder()
         with self._lock:
+            self.lookups += 1
             try:
                 value = self._entries[key]
             except KeyError:
@@ -118,23 +124,35 @@ class BoundedCache:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
+                "lookups": self.lookups,
                 "size": len(self._entries),
                 "maxsize": self.maxsize,
             }
 
 
+def registered_caches() -> Dict[str, "BoundedCache"]:
+    """A point-in-time copy of the cache registry (name -> cache)."""
+    with _REGISTRY_LOCK:
+        return dict(_REGISTRY)
+
+
 def clear_caches(name: Optional[str] = None) -> None:
     """Invalidate every registered cache, or just the named one."""
     if name is not None:
-        _REGISTRY[name].clear()
+        with _REGISTRY_LOCK:
+            cache = _REGISTRY[name]
+        cache.clear()
         return
-    for cache in _REGISTRY.values():
+    for cache in registered_caches().values():
         cache.clear()
 
 
 def cache_stats() -> Dict[str, Dict[str, int]]:
     """Hit/miss/size snapshot of every registered cache."""
-    return {name: cache.stats() for name, cache in sorted(_REGISTRY.items())}
+    return {
+        name: cache.stats()
+        for name, cache in sorted(registered_caches().items())
+    }
 
 
 def array_key(values: npt.ArrayLike) -> bytes:

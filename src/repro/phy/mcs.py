@@ -14,6 +14,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.utils.units import power_db_to_linear
+
 #: Minimum SNR [dB] to sustain any MCS; below this the link is in outage.
 OUTAGE_SNR_DB = 6.0
 
@@ -105,7 +107,7 @@ def throughput_bps(
 
 def shannon_spectral_efficiency(snr_db: float) -> float:
     """Shannon bound ``log2(1 + SNR)`` [bits/s/Hz] (Eq. 32), for reference."""
-    return float(np.log2(1.0 + 10.0 ** (snr_db / 10.0)))
+    return float(np.log2(1.0 + power_db_to_linear(snr_db)))
 
 
 def is_outage(snr_db: float) -> bool:

@@ -20,6 +20,7 @@ from repro.channel.impairments import CfoSfoModel, awgn_noise_power_watt, comple
 from repro.channel.wideband import ofdm_frequency_grid
 from repro.phy.numerology import FR2_120KHZ, Numerology
 from repro.utils import ensure_rng
+from repro.utils.units import power_linear_to_db
 
 
 @dataclass(frozen=True)
@@ -77,9 +78,9 @@ class OfdmConfig:
         """Link SNR [dB] for a given mean beamformed channel power."""
         if mean_channel_power <= 0:
             return -np.inf
-        return 10.0 * np.log10(
+        return float(power_linear_to_db(
             self.transmit_power_watt * mean_channel_power / self.noise_power_watt
-        )
+        ))
 
     def snr_db_array(self, mean_channel_powers) -> np.ndarray:
         """Vectorized :meth:`snr_db`: ``-inf`` wherever power is <= 0.
@@ -91,7 +92,7 @@ class OfdmConfig:
         snrs = np.full(powers.shape, -np.inf)
         positive = powers > 0
         if np.any(positive):
-            snrs[positive] = 10.0 * np.log10(
+            snrs[positive] = power_linear_to_db(
                 self.transmit_power_watt * powers[positive]
                 / self.noise_power_watt
             )
@@ -113,7 +114,7 @@ class ChannelEstimate:
 
     def power_db(self) -> float:
         power = self.mean_power
-        return -np.inf if power == 0 else 10.0 * np.log10(power)
+        return -np.inf if power == 0 else float(power_linear_to_db(power))
 
 
 @dataclass

@@ -12,6 +12,8 @@ from typing import Dict
 
 import numpy as np
 
+from repro.utils.units import linear_to_db
+
 #: Supported modulations and their bits per symbol.
 MODULATION_BITS: Dict[str, int] = {
     "bpsk": 1,
@@ -112,7 +114,7 @@ def evm_to_snr_db(evm: float) -> float:
     """SNR implied by an EVM measurement: ``-20 log10(EVM)``."""
     if evm <= 0:
         raise ValueError(f"evm must be positive, got {evm!r}")
-    return -20.0 * np.log10(evm)
+    return -float(linear_to_db(evm))
 
 
 def bit_error_rate(

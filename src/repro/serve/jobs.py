@@ -23,7 +23,7 @@ import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.faults import FaultSpec, load_fault_specs
+from repro.faults import FaultSpec, parse_fault_specs
 from repro.sim.spec import ScenarioSpec
 
 __all__ = [
@@ -227,7 +227,7 @@ class JobSpec:
             fields_in["scenario"] = ScenarioSpec.from_dict(scenario)
         faults = fields_in.pop("faults", None)
         if faults is not None:
-            fields_in["faults"] = load_fault_specs(list(faults))
+            fields_in["faults"] = parse_fault_specs(list(faults))
         return cls(**fields_in)
 
 

@@ -3,7 +3,13 @@
 One event loop owns all bookkeeping (queue, records, journal order);
 job execution happens on a thread pool via ``run_in_executor`` (and
 from there on the ensemble executor's process pool), so a slow or
-crashing job never blocks admission.  The reliability ledger:
+crashing job never blocks admission.  Journal appends — each one a
+flush + fsync — run on a dedicated single-thread executor so the disk
+never stalls the event loop either: in-memory state transitions are
+applied *before* the append is awaited (late arrivals always observe
+consistent records), appends retire in submission order (one journal
+thread, FIFO), and acknowledgements are only sent once the fsync has
+returned.  The reliability ledger:
 
 * **Durability** — every transition is journaled (flushed + fsynced)
   *before* the server acknowledges it; a ``kill -9`` at any instant is
@@ -36,11 +42,13 @@ Wire protocol (newline-delimited JSON over TCP, one request per line)::
 from __future__ import annotations
 
 import asyncio
+import functools
 import json
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Set
 
+from repro import sanitize
 from repro.serve.jobs import (
     JobRecord,
     JobSpec,
@@ -99,6 +107,16 @@ class JobServer:
         Job-level retry/backoff/deadline policy.
     journal_sync:
         fsync every journal append (leave on outside benchmarks).
+    journal_timeout_s:
+        Deadline for a single journal append (flush + fsync).  A wedged
+        disk surfaces as ``asyncio.TimeoutError`` instead of silently
+        hanging the transition that needed the write.
+    execution_timeout_s:
+        Wall-clock bound on one job execution attempt; ``None`` (the
+        default) leaves attempts unbounded.  A timed-out attempt goes
+        through the normal failure/retry path.  The worker thread
+        itself cannot be interrupted mid-kernel, so the slot is only
+        reclaimed once the underlying call returns.
     """
 
     def __init__(
@@ -112,6 +130,8 @@ class JobServer:
         protect_priority: str = "interactive",
         retry_policy: Optional[RetryPolicy] = None,
         journal_sync: bool = True,
+        journal_timeout_s: float = 30.0,
+        execution_timeout_s: Optional[float] = None,
     ) -> None:
         if job_workers < 0:
             raise ValueError(f"job_workers must be >= 0, got {job_workers!r}")
@@ -132,11 +152,17 @@ class JobServer:
         self._sequence = 0
         self._started_monotonic = 0.0
         self._server: Optional[asyncio.AbstractServer] = None
-        self._workers: List[asyncio.Task] = []
-        self._backoffs: Set[asyncio.Task] = set()
+        self._workers: List["asyncio.Task[None]"] = []
+        self._backoffs: Set["asyncio.Task[None]"] = set()
         self._wakeup: Optional[asyncio.Condition] = None
-        self._subscribers: Dict[str, List[asyncio.Queue]] = {}
+        self._subscribers: Dict[
+            str, List["asyncio.Queue[Optional[Dict[str, object]]]"]
+        ] = {}
         self._executor: Optional[ThreadPoolExecutor] = None
+        self._journal_executor: Optional[ThreadPoolExecutor] = None
+        self.journal_timeout_s = float(journal_timeout_s)
+        self.execution_timeout_s = execution_timeout_s
+        self._sanitizer: Optional[sanitize.LoopLagMonitor] = None
         self._stopping = False
         self._stopped = asyncio.Event()
 
@@ -184,7 +210,18 @@ class JobServer:
             max_workers=max(1, self.job_workers),
             thread_name_prefix="repro-serve",
         )
-        records, resumable = self.journal.replay()
+        # Exactly one journal thread: appends retire in the order the
+        # event loop submitted them, which is the transition order.
+        self._journal_executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-journal"
+        )
+        if sanitize.enabled():
+            # Runtime counterpart of the RL5xx lint family: a heartbeat
+            # thread that reports whenever this loop stops responding.
+            self._sanitizer = sanitize.LoopLagMonitor(
+                asyncio.get_running_loop(), source="serve"
+            ).start()
+        records, resumable = await asyncio.to_thread(self.journal.replay)
         self.records = records
         for job_id, record in records.items():
             number = job_id.rsplit("-", 1)[-1]
@@ -225,26 +262,58 @@ class JobServer:
             *self._workers, *self._backoffs, return_exceptions=True
         )
         if self._executor is not None:
-            self._executor.shutdown(wait=True, cancel_futures=True)
-        self.journal.close()
+            await asyncio.to_thread(
+                self._executor.shutdown, wait=True, cancel_futures=True
+            )
+        if self._journal_executor is not None:
+            # Drain queued appends (each a flush+fsync) before closing.
+            await asyncio.to_thread(self._journal_executor.shutdown, wait=True)
+        await asyncio.to_thread(self.journal.close)
+        if self._sanitizer is not None:
+            await asyncio.to_thread(self._sanitizer.stop)
+            self._sanitizer = None
+        if sanitize.enabled():
+            sanitize.verify_caches()
         self._stopped.set()
 
     async def wait_stopped(self) -> None:
         await self._stopped.wait()
 
     # ------------------------------------------------------------------
+    # journal path
+
+    async def _journal_append(self, op: str, **fields: object) -> None:
+        """Append one journal entry off-loop (ordered, fsync-bounded).
+
+        The append runs on the single journal thread, so entries hit the
+        file in the order the event loop issued them.  Callers apply
+        their in-memory transition *before* awaiting this and only send
+        acknowledgements afterwards: late-arriving requests observe
+        consistent state, and nothing is acked before the fsync.
+        """
+        assert self._journal_executor is not None
+        loop = asyncio.get_running_loop()
+        await asyncio.wait_for(
+            loop.run_in_executor(
+                self._journal_executor,
+                functools.partial(self.journal.append, op, **fields),
+            ),
+            timeout=self.journal_timeout_s,
+        )
+
+    # ------------------------------------------------------------------
     # submission path
 
-    def _shed(self, record: JobRecord, reason: str) -> None:
+    async def _shed(self, record: JobRecord, reason: str) -> None:
         """Move an admitted job to its terminal ``shed`` state."""
         time_s = self.now()
-        self.journal.append(
-            "shed", id=record.job_id, reason=reason, t=time_s
-        )
         record.error = reason
         record.transition(JobState.SHED, time_s)
         self._active.pop(record.key, None)
         self.stats.shed += 1
+        await self._journal_append(
+            "shed", id=record.job_id, reason=reason, t=time_s
+        )
         self.emit(
             EventKind.JOB_SHED,
             job_id=record.job_id,
@@ -264,8 +333,8 @@ class JobServer:
         if active_id is not None:
             record = self.records[active_id]
             record.submissions += 1
-            self.journal.append("coalesce", id=active_id, t=self.now())
             self.stats.coalesced += 1
+            await self._journal_append("coalesce", id=active_id, t=self.now())
             self.emit(
                 EventKind.JOB_SUBMITTED,
                 job_id=active_id,
@@ -304,16 +373,16 @@ class JobServer:
             response = {"ok": False}
             response.update(overload.to_dict())
             return response
-        self.journal.append(
+        self.records[record.job_id] = record
+        self._active[key] = record.job_id
+        self.stats.submitted += 1
+        await self._journal_append(
             "submit",
             id=record.job_id,
             key=key,
             t=record.submitted_at_s,
             job=spec.to_dict(),
         )
-        self.records[record.job_id] = record
-        self._active[key] = record.job_id
-        self.stats.submitted += 1
         self.emit(
             EventKind.JOB_SUBMITTED,
             job_id=record.job_id,
@@ -321,7 +390,7 @@ class JobServer:
             priority=spec.priority,
         )
         if evicted is not None:
-            self._shed(evicted, reason="evicted by higher-priority arrival")
+            await self._shed(evicted, reason="evicted by higher-priority arrival")
         assert self._wakeup is not None
         async with self._wakeup:
             self._wakeup.notify()
@@ -348,11 +417,11 @@ class JobServer:
         loop = asyncio.get_running_loop()
         record.attempts += 1
         time_s = self.now()
-        self.journal.append(
-            "start", id=record.job_id, attempt=record.attempts, t=time_s
-        )
         record.transition(JobState.RUNNING, time_s)
         self.stats.executions += 1
+        await self._journal_append(
+            "start", id=record.job_id, attempt=record.attempts, t=time_s
+        )
         self.emit(
             EventKind.JOB_STARTED,
             job_id=record.job_id,
@@ -360,27 +429,40 @@ class JobServer:
         )
         self._notify(record, "started")
         try:
-            result = await loop.run_in_executor(
-                self._executor, execute_job, record.spec
+            # wait_for(timeout=None) awaits unbounded, matching the
+            # default; a finite execution_timeout_s routes a hung
+            # attempt through the ordinary failure/retry path.
+            result = await asyncio.wait_for(
+                loop.run_in_executor(
+                    self._executor, execute_job, record.spec
+                ),
+                timeout=self.execution_timeout_s,
             )
         except asyncio.CancelledError:
             raise
+        except asyncio.TimeoutError:
+            await self._handle_failure(
+                record,
+                TimeoutError(
+                    f"execution exceeded {self.execution_timeout_s}s"
+                ),
+            )
         except Exception as error:
-            self._handle_failure(record, error)
+            await self._handle_failure(record, error)
         else:
             time_s = self.now()
-            self.journal.append(
+            record.result = result
+            record.transition(JobState.SUCCEEDED, time_s)
+            self._active.pop(record.key, None)
+            self._succeeded.setdefault(record.key, record.job_id)
+            self.stats.completed += 1
+            await self._journal_append(
                 "done",
                 id=record.job_id,
                 state=JobState.SUCCEEDED,
                 result=result,
                 t=time_s,
             )
-            record.result = result
-            record.transition(JobState.SUCCEEDED, time_s)
-            self._active.pop(record.key, None)
-            self._succeeded.setdefault(record.key, record.job_id)
-            self.stats.completed += 1
             self.emit(
                 EventKind.JOB_COMPLETED,
                 job_id=record.job_id,
@@ -389,7 +471,7 @@ class JobServer:
             )
             self._notify(record, "completed")
 
-    def _handle_failure(self, record: JobRecord, error: Exception) -> None:
+    async def _handle_failure(self, record: JobRecord, error: Exception) -> None:
         time_s = self.now()
         elapsed_s = time_s - record.submitted_at_s
         message = f"{type(error).__name__}: {error}"
@@ -398,7 +480,16 @@ class JobServer:
             record.key, record.attempts, elapsed_s, record.spec.deadline_s
         ):
             delay_s = policy.delay_s(record.key, record.attempts)
-            self.journal.append(
+            record.error = message
+            record.transition(JobState.PENDING, time_s)
+            self.stats.retries += 1
+            # The backoff task is part of the transition: it must exist
+            # before the journal await so a stats poll never observes
+            # the job as neither queued, running, nor backing off.
+            task = asyncio.create_task(self._requeue_after(record, delay_s))
+            self._backoffs.add(task)
+            task.add_done_callback(self._backoffs.discard)
+            await self._journal_append(
                 "retry",
                 id=record.job_id,
                 attempt=record.attempts,
@@ -406,9 +497,6 @@ class JobServer:
                 error=message,
                 t=time_s,
             )
-            record.error = message
-            record.transition(JobState.PENDING, time_s)
-            self.stats.retries += 1
             self.emit(
                 EventKind.JOB_RETRIED,
                 job_id=record.job_id,
@@ -417,21 +505,18 @@ class JobServer:
                 error=message,
             )
             self._notify(record, "retried", delay_s=delay_s, error=message)
-            task = asyncio.create_task(self._requeue_after(record, delay_s))
-            self._backoffs.add(task)
-            task.add_done_callback(self._backoffs.discard)
             return
-        self.journal.append(
+        record.error = message
+        record.transition(JobState.FAILED, time_s)
+        self._active.pop(record.key, None)
+        self.stats.failed += 1
+        await self._journal_append(
             "done",
             id=record.job_id,
             state=JobState.FAILED,
             error=message,
             t=time_s,
         )
-        record.error = message
-        record.transition(JobState.FAILED, time_s)
-        self._active.pop(record.key, None)
-        self.stats.failed += 1
         self.emit(
             EventKind.JOB_COMPLETED,
             job_id=record.job_id,
@@ -551,7 +636,7 @@ class JobServer:
         if record.terminal:
             await self._send(writer, {"ok": True, "job": record.to_dict()})
             return
-        queue: asyncio.Queue = asyncio.Queue()
+        queue: "asyncio.Queue[Optional[Dict[str, object]]]" = asyncio.Queue()
         self._subscribers.setdefault(job_id, []).append(queue)
         while True:
             event = await queue.get()
@@ -576,7 +661,13 @@ class JobServer:
                 for record in self.records.values()
                 if record.state == JobState.RUNNING
             ),
+            # Jobs waiting out a retry backoff: not queued, not running,
+            # but not drained either — pollers must wait these out too.
+            "backoffs": len(self._backoffs),
             "jobs_per_second": completed / uptime_s if uptime_s > 0 else 0.0,
         }
         payload.update(self.stats.to_dict())
+        if sanitize.enabled():
+            sanitize.verify_caches()
+            payload["sanitize"] = sanitize.report_counts()
         return payload

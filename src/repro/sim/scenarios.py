@@ -25,6 +25,7 @@ from repro.channel.mobility import Trajectory
 from repro.channel.paths import Path
 from repro.channel.pathloss import friis_path_loss_db
 from repro.utils import SPEED_OF_LIGHT, complex_from_polar
+from repro.utils.units import db_to_linear
 
 #: Implementation losses (cabling, elevation mismatch, back-off) folded
 #: into scenario link budgets so simulated SNRs land in the paper's
@@ -37,7 +38,7 @@ def _los_gain(
 ) -> complex:
     """Complex LOS amplitude with carrier phase folded in."""
     loss_db = friis_path_loss_db(distance_m, carrier_hz) + extra_loss_db
-    amplitude = 10.0 ** (-loss_db / 20.0)
+    amplitude = float(db_to_linear(-loss_db))
     delay = distance_m / SPEED_OF_LIGHT
     return amplitude * np.exp(-2j * np.pi * carrier_hz * delay)
 
@@ -59,7 +60,7 @@ def two_path_channel(
     micro-benchmarks use -3 to -6 dB.
     """
     los_gain = _los_gain(distance_m, array.carrier_frequency_hz, extra_loss_db)
-    relative = complex_from_polar(10.0 ** (delta_db / 20.0), sigma_rad)
+    relative = complex_from_polar(float(db_to_linear(delta_db)), sigma_rad)
     los_delay = distance_m / SPEED_OF_LIGHT
     paths = (
         Path(aod_rad=los_angle_rad, gain=los_gain, delay_s=los_delay, label="los"),
@@ -94,7 +95,7 @@ def three_path_channel(
     for i, (angle, delta_db, sigma, excess) in enumerate(
         zip(angles_rad, deltas_db, sigmas_rad, excess_delays_s)
     ):
-        relative = complex_from_polar(10.0 ** (delta_db / 20.0), sigma)
+        relative = complex_from_polar(float(db_to_linear(delta_db)), sigma)
         paths.append(
             Path(
                 aod_rad=float(angle),
@@ -237,7 +238,7 @@ class GeometricScenario:
             tx_boresight_rad=self.tx_boresight_rad,
             rx_boresight_rad=pose.orientation_rad,
         )
-        scale = 10.0 ** (-self.extra_loss_db / 20.0)
+        scale = float(db_to_linear(-self.extra_loss_db))
         paths = tuple(p.attenuated(scale) for p in paths)
         channel = GeometricChannel(tx_array=self.array, paths=paths)
         factors = self.blockage.amplitude_factors(time_s, channel.num_paths)

@@ -18,6 +18,7 @@ captured events back to the parent as plain data.
 from __future__ import annotations
 
 import itertools
+import threading
 from contextlib import contextmanager
 from types import TracebackType
 from typing import (
@@ -249,12 +250,18 @@ class TelemetryRecorder:
         return TelemetrySummary.from_recorder(self, since=since)
 
 
-_current: RecorderLike = NULL_RECORDER
+# The active recorder is thread-scoped (like repro.perf.backend's
+# active-backend stack): the serve layer runs jobs on worker threads,
+# and a process-wide slot would let one job's use_recorder() clobber
+# another's mid-flight.  Single-threaded callers see the old behavior
+# unchanged, and process-pool ensemble workers each install their own
+# recorder inside _run_one_seed.
+_ACTIVE = threading.local()
 
 
 def get_recorder() -> RecorderLike:
-    """The process-wide active recorder (the null recorder by default)."""
-    return _current
+    """The active recorder on this thread (the null recorder by default)."""
+    return getattr(_ACTIVE, "recorder", NULL_RECORDER)
 
 
 def set_recorder(recorder: Optional[RecorderLike]) -> RecorderLike:
@@ -263,9 +270,8 @@ def set_recorder(recorder: Optional[RecorderLike]) -> RecorderLike:
     Returns the previously installed recorder so callers can restore it;
     prefer :func:`use_recorder` which does so automatically.
     """
-    global _current
-    previous = _current
-    _current = NULL_RECORDER if recorder is None else recorder
+    previous = getattr(_ACTIVE, "recorder", NULL_RECORDER)
+    _ACTIVE.recorder = NULL_RECORDER if recorder is None else recorder
     return previous
 
 

@@ -1,0 +1,46 @@
+# lint-fixture: relpath=src/repro/serve/_fixture_async.py
+"""Async-hygiene fixtures: every RL5xx idiom done correctly."""
+
+import asyncio
+import os
+
+
+def _persist(path):
+    descriptor = os.open(path, os.O_WRONLY)
+    os.fsync(descriptor)
+    os.close(descriptor)
+
+
+async def offloaded_blocking(path):
+    # Blocking work hops off the loop explicitly.
+    await asyncio.to_thread(_persist, path)
+
+
+async def retained_task(worker):
+    task = asyncio.create_task(worker())
+    await task
+    return task.result()
+
+
+async def stored_task(self_like, worker):
+    # Attribute stores retain the handle beyond this frame.
+    self_like.task = asyncio.create_task(worker())
+
+
+async def async_lock_discipline(queue):
+    lock = asyncio.Lock()
+    async with lock:
+        await queue.get()
+
+
+async def bounded_external(loop, pool, job):
+    result = await asyncio.wait_for(
+        loop.run_in_executor(pool, job), timeout=5.0
+    )
+    return result
+
+
+async def bounded_connection(host, port):
+    async with asyncio.timeout(2.0):
+        reader, writer = await asyncio.open_connection(host, port)
+    return reader, writer

@@ -1,0 +1,60 @@
+# lint-fixture: relpath=src/repro/perf/_fixture_race.py
+"""Race-detection fixtures: shared state handled correctly."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+_RESULTS = {}
+_RESULTS_LOCK = threading.Lock()
+_POOL = ThreadPoolExecutor(max_workers=2)
+
+_ENGINE = None
+
+
+class _Engine:
+    def __init__(self):
+        self.ready = True
+
+
+def _record(key, value):
+    # Guarded write: safe from any number of workers.
+    with _RESULTS_LOCK:
+        _RESULTS[key] = value
+
+
+def _get_engine():
+    global _ENGINE
+    with _RESULTS_LOCK:
+        if _ENGINE is None:
+            _ENGINE = _Engine()
+    return _ENGINE
+
+
+def fan_out(items):
+    for index, item in enumerate(items):
+        _POOL.submit(_record, index, item)
+    _POOL.submit(_get_engine)
+
+
+async def loop_side_read():
+    # Reads alone never trip RL601; only unguarded writes do.
+    with _RESULTS_LOCK:
+        return dict(_RESULTS)
+
+
+class GuardedCounter:
+    """Every touch of the protected fields happens under the lock."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = {}
+        self.total = 0
+
+    def bump(self, key):
+        with self._lock:
+            self._counts[key] = self._counts.get(key, 0) + 1
+            self.total += 1
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._counts), self.total

@@ -1,0 +1,51 @@
+# lint-fixture: relpath=src/repro/perf/_fixture_race_bad.py
+"""Race-detection fixtures: one deliberate violation per RL6xx rule."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+_RESULTS = {}
+_POOL = ThreadPoolExecutor(max_workers=2)
+
+_ENGINE = None
+
+
+class _Engine:
+    def __init__(self):
+        self.ready = True
+
+
+def _record(key, value):
+    _RESULTS[key] = value  # expect: RL601
+
+
+def _get_engine():
+    global _ENGINE
+    if _ENGINE is None:
+        _ENGINE = _Engine()  # expect: RL603
+    return _ENGINE
+
+
+def fan_out(items):
+    for index, item in enumerate(items):
+        _POOL.submit(_record, index, item)
+    _POOL.submit(_get_engine)
+
+
+async def loop_side_write():
+    _RESULTS["done"] = True  # expect: RL601
+
+
+class LeakyCounter:
+    """The lock protects writes in bump() but peek() skips it."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counts = {}
+
+    def bump(self, key):
+        with self._lock:
+            self._counts[key] = self._counts.get(key, 0) + 1
+
+    def peek(self, key):
+        return self._counts.get(key, 0)  # expect: RL602

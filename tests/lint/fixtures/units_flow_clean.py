@@ -1,0 +1,27 @@
+# lint-fixture: relpath=src/repro/phy/_fixture_units_flow.py
+"""Flow-sensitive unit fixtures: taint tracked, no domain ever mixed."""
+
+from repro.utils.units import db_to_linear, linear_to_db
+
+
+def amplitude_chain(path_loss_db, tx_power_db):
+    combined_db = tx_power_db - path_loss_db
+    amplitude = db_to_linear(combined_db)
+    scaled = amplitude * 3.0
+    return linear_to_db(scaled)
+
+
+def branch_consistent(flag, x_db):
+    if flag:
+        value = db_to_linear(x_db)
+    else:
+        value = db_to_linear(x_db) * 2.0
+    # Both arms are linear, so linear arithmetic stays clean.
+    return value * value
+
+
+def loop_consistent(samples, floor_db):
+    acc = db_to_linear(floor_db)
+    for _sample in samples:
+        acc = acc * 2.0
+    return linear_to_db(acc) - floor_db

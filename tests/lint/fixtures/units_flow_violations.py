@@ -1,0 +1,34 @@
+# lint-fixture: relpath=src/repro/phy/_fixture_units_flow_bad.py
+"""Flow-sensitive unit fixtures: mixing only dataflow can see."""
+
+from repro.utils.units import db_to_linear, power_linear_to_db
+
+
+def hidden_mix(path_loss_db):
+    gain = db_to_linear(path_loss_db)
+    return gain + path_loss_db  # expect: RL104
+
+
+def branch_mix(flag, x_db, noise):
+    if flag:
+        level = db_to_linear(x_db)
+    else:
+        level = db_to_linear(x_db) * noise
+    return level - x_db  # expect: RL104
+
+
+def loop_mix(samples, floor_db):
+    acc = db_to_linear(floor_db)
+    for _sample in samples:
+        acc = acc * 2.0
+    return acc - floor_db  # expect: RL104
+
+
+def suffix_lies(snr):
+    snr_db = db_to_linear(snr)  # expect: RL105
+    return snr_db
+
+
+def conversion_lies(power):
+    power_w = power_linear_to_db(power)  # expect: RL105
+    return power_w

@@ -1,6 +1,6 @@
 """The repo's own lint surface must stay green and in sync.
 
-These are the tests CI leans on: ``repro lint src --check-baseline``
+These are the tests CI leans on: ``repro lint src tools --check-baseline``
 over the real tree must exit 0, every committed baseline entry must
 carry a real justification, and the ``repro lint`` subcommand must
 dispatch to the analyzer.
@@ -21,20 +21,26 @@ BASELINE_PATH = REPO_ROOT / "tools" / "repro_lint" / "baseline.json"
 
 def test_repo_tree_lints_clean_with_baseline_in_sync():
     out = io.StringIO()
-    code = lint_main(["--root", str(REPO_ROOT), "src", "--check-baseline"], out=out)
-    assert code == 0, f"repro lint src --check-baseline failed:\n{out.getvalue()}"
+    code = lint_main(
+        ["--root", str(REPO_ROOT), "src", "tools", "--check-baseline"], out=out
+    )
+    assert code == 0, (
+        f"repro lint src tools --check-baseline failed:\n{out.getvalue()}"
+    )
 
 
 def test_committed_baseline_entries_are_justified_and_known():
+    # The RL102 grandfather list was burned down to zero; the baseline
+    # file must stay present (CI passes --check-baseline) but any entry
+    # that reappears must be justified and name a real rule.
     entries = load_baseline(BASELINE_PATH)
-    assert entries, "the committed baseline must exist and be non-empty"
     for entry in entries:
         assert entry.justification.strip(), (
             f"baseline entry without justification: {entry.rule} {entry.path} "
             f"{entry.code!r}"
         )
         assert entry.rule in ALL_RULES, f"baseline names unknown rule {entry.rule}"
-        assert entry.path.startswith("src/"), (
+        assert entry.path.startswith(("src/", "tools/")), (
             f"baseline entry outside the lint surface: {entry.path}"
         )
 
@@ -47,3 +53,5 @@ def test_repro_cli_dispatches_lint_subcommand(capsys):
     assert code == 0
     assert "RL001" in text
     assert "RL403" in text
+    assert "RL505" in text
+    assert "RL603" in text

@@ -16,11 +16,18 @@ from pathlib import Path
 
 import pytest
 
-from repro_lint import rules_modules, rules_purity, rules_rng, rules_units
+from repro_lint import (
+    rules_async,
+    rules_modules,
+    rules_purity,
+    rules_rng,
+    rules_units,
+)
 from repro_lint.config import LintConfig
 from repro_lint.core import FileContext
 from repro_lint.registry import ALL_RULES
 from repro_lint.rules_contracts import ContractChecker
+from repro_lint.rules_race import ConcurrencyChecker
 
 FIXTURES_DIR = Path(__file__).resolve().parent / "fixtures"
 FIXTURES = sorted(FIXTURES_DIR.glob("*.py"))
@@ -65,11 +72,15 @@ def lint_single_file(relpath: str, source: str, config: LintConfig):
         rules_units.check,
         rules_purity.check,
         rules_modules.check,
+        rules_async.check,
     ):
         findings.extend(check(ctx, config))
     contracts = ContractChecker()
     findings.extend(contracts.check_file(ctx, config))
     findings.extend(contracts.finalize(config))
+    concurrency = ConcurrencyChecker()
+    findings.extend(concurrency.check_file(ctx, config))
+    findings.extend(concurrency.finalize(config))
     return [f for f in findings if not ctx.pragmas.suppresses(f)]
 
 

@@ -74,7 +74,9 @@ class TestBoundedCache:
         cache.get_or_build("k", lambda: 1)
         cache.get_or_build("k", lambda: 1)
         stats = cache_stats()[cache.name]
-        assert stats == {"hits": 1, "misses": 1, "size": 1, "maxsize": 3}
+        assert stats == {
+            "hits": 1, "misses": 1, "lookups": 2, "size": 1, "maxsize": 3,
+        }
 
     def test_duplicate_name_rejected(self, cache):
         with pytest.raises(ValueError, match="already exists"):

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro_lint import (
     baseline as baseline_mod,
+    rules_async,
     rules_modules,
     rules_purity,
     rules_rng,
@@ -23,12 +24,14 @@ from repro_lint import (
 from repro_lint.config import LintConfig
 from repro_lint.core import FileContext, Finding, path_in_scope
 from repro_lint.rules_contracts import ContractChecker
+from repro_lint.rules_race import ConcurrencyChecker
 
 _PER_FILE_CHECKS = (
     rules_rng.check,
     rules_units.check,
     rules_purity.check,
     rules_modules.check,
+    rules_async.check,
 )
 
 
@@ -90,6 +93,7 @@ def lint_paths(
     result = LintResult()
     targets = tuple(paths) or config.paths
     contracts = ContractChecker()
+    concurrency = ConcurrencyChecker()
     import_graph = rules_modules.ImportGraph()
     contexts: List[FileContext] = []
     raw: List[Finding] = []
@@ -107,12 +111,14 @@ def lint_paths(
         for check in _PER_FILE_CHECKS:
             raw.extend(check(ctx, config))
         raw.extend(contracts.check_file(ctx, config))
+        raw.extend(concurrency.check_file(ctx, config))
         import_graph.collect(ctx)
 
     # RL201 (unused EventKind) is only sound when the scan covers the
     # configured default surface — a subset scan cannot prove a kind dead.
     full_scan = _covers_default_surface(targets, config)
     raw.extend(contracts.finalize(config, check_unused_kinds=full_scan))
+    raw.extend(concurrency.finalize(config))
     raw.extend(import_graph.finalize())
 
     # Pragmas, then config-level filters.

@@ -4,7 +4,15 @@ from __future__ import annotations
 
 from typing import Dict
 
-from repro_lint import rules_contracts, rules_modules, rules_purity, rules_rng, rules_units
+from repro_lint import (
+    rules_async,
+    rules_contracts,
+    rules_modules,
+    rules_purity,
+    rules_race,
+    rules_rng,
+    rules_units,
+)
 
 FAMILIES = {
     "RL0": "RNG discipline",
@@ -12,11 +20,21 @@ FAMILIES = {
     "RL2": "telemetry & subsystem contracts",
     "RL3": "purity & mutability",
     "RL4": "module hygiene",
+    "RL5": "async hygiene (event-loop safety)",
+    "RL6": "race detection (thread/loop shared state)",
 }
 
 #: code -> one-line summary, merged from every rule family.
 ALL_RULES: Dict[str, str] = {}
-for _module in (rules_rng, rules_units, rules_contracts, rules_purity, rules_modules):
+for _module in (
+    rules_rng,
+    rules_units,
+    rules_contracts,
+    rules_purity,
+    rules_modules,
+    rules_async,
+    rules_race,
+):
     ALL_RULES.update(_module.RULES)
 
 

@@ -21,6 +21,18 @@ from repro_lint.core import (
     identifiers_outside_calls,
     path_in_scope,
 )
+from repro_lint.dataflow import (
+    DB,
+    LINEAR,
+    ControlFlowGraph,
+    FunctionNode,
+    UnitEnv,
+    expression_domain,
+    function_summaries,
+    infer_unit_domains,
+    suffix_domain,
+    transfer_units,
+)
 
 RULES = {
     "RL101": (
@@ -34,6 +46,14 @@ RULES = {
     "RL103": (
         "function named *_power/*_gain returns a dB quantity but lacks "
         "the _db suffix"
+    ),
+    "RL104": (
+        "flow-inferred dB/linear mixing: a value tainted through "
+        "assignments or conversion calls meets the opposite domain"
+    ),
+    "RL105": (
+        "unit-suffixed name assigned a value whose flow-inferred domain "
+        "contradicts the suffix"
     ),
 }
 
@@ -72,6 +92,10 @@ def check(ctx: FileContext, config: LintConfig) -> List[Finding]:
                 findings.extend(_check_conversion(ctx, node))
         elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
             findings.extend(_check_return_units(ctx, node))
+    syntactic_lines = {finding.line for finding in findings}
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, FunctionNode):
+            findings.extend(_check_flow(ctx, node, syntactic_lines))
     return findings
 
 
@@ -153,6 +177,143 @@ def _returns_db(ctx: FileContext, statement: ast.Return) -> bool:
         if "db" in _domains(names):
             return True
     return False
+
+
+def _stmt_expressions(statement: ast.stmt) -> List[ast.expr]:
+    """Expressions evaluated *at* this statement.
+
+    Compound statements contribute only their test/header expression —
+    their bodies live in other CFG blocks and are visited there.
+    """
+    if isinstance(statement, ast.Assign):
+        return [statement.value]
+    if isinstance(statement, (ast.AugAssign, ast.AnnAssign, ast.Return, ast.Expr)):
+        return [statement.value] if statement.value is not None else []
+    if isinstance(statement, (ast.If, ast.While)):
+        return [statement.test]
+    if isinstance(statement, (ast.For, ast.AsyncFor)):
+        return [statement.iter]
+    if isinstance(statement, (ast.With, ast.AsyncWith)):
+        return [item.context_expr for item in statement.items]
+    if isinstance(statement, ast.Assert):
+        return [statement.test]
+    if isinstance(statement, ast.Raise):
+        return [statement.exc] if statement.exc is not None else []
+    return []
+
+
+def _check_flow(
+    ctx: FileContext, function: ast.AST, syntactic_lines: Set[int]
+) -> List[Finding]:
+    """RL104/RL105: the flow-sensitive upgrade of the suffix heuristics.
+
+    Re-runs the unit-taint transfer over each CFG block from its
+    fixpoint entry state, so every statement is inspected under the
+    exact environment that reaches it.
+    """
+    try:
+        envs = infer_unit_domains(ctx, function)
+        graph = ControlFlowGraph.from_function(function)
+    except RecursionError:  # pathological nesting: fall back to syntax
+        return []
+    summaries = function_summaries(ctx)
+    findings: List[Finding] = []
+    seen: Set[int] = set()
+
+    for block_id in sorted(graph.blocks):
+        env = envs.get(block_id, UnitEnv()).copy()
+        for statement in graph.blocks[block_id].statements:
+            for expression in _stmt_expressions(statement):
+                findings.extend(
+                    _flow_mixing(
+                        ctx, expression, env, summaries,
+                        syntactic_lines, seen,
+                    )
+                )
+            findings.extend(
+                _flow_contradiction(ctx, statement, env, summaries, seen)
+            )
+            env = transfer_units(ctx, statement, env, summaries)
+    return findings
+
+
+def _flow_mixing(
+    ctx: FileContext,
+    expression: ast.expr,
+    env: UnitEnv,
+    summaries,
+    syntactic_lines: Set[int],
+    seen: Set[int],
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(expression):
+        if isinstance(node, (ast.Lambda,)):
+            continue
+        if not isinstance(node, ast.BinOp):
+            continue
+        if not isinstance(node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div)):
+            continue
+        if node.lineno in syntactic_lines or id(node) in seen:
+            continue  # RL101/RL102 already reported this site
+        left = expression_domain(ctx, node.left, env, summaries)
+        right = expression_domain(ctx, node.right, env, summaries)
+        if {left, right} == {DB, LINEAR}:
+            seen.add(id(node))
+            findings.append(
+                ctx.finding(
+                    node,
+                    "RL104",
+                    "dB-domain and linear-domain values meet here "
+                    f"(left is {left}, right is {right} by dataflow); "
+                    "convert one side via repro.utils.units first",
+                )
+            )
+    return findings
+
+
+def _flow_contradiction(
+    ctx: FileContext,
+    statement: ast.stmt,
+    env: UnitEnv,
+    summaries,
+    seen: Set[int],
+) -> List[Finding]:
+    targets: List[ast.Name] = []
+    value: Optional[ast.expr] = None
+    if isinstance(statement, ast.Assign):
+        value = statement.value
+        targets = [
+            target
+            for target in statement.targets
+            if isinstance(target, ast.Name)
+        ]
+    elif isinstance(statement, ast.AnnAssign) and isinstance(
+        statement.target, ast.Name
+    ):
+        value = statement.value
+        targets = [statement.target]
+    if value is None or not targets:
+        return []
+    inferred = expression_domain(ctx, value, env, summaries)
+    if inferred not in (DB, LINEAR):
+        return []
+    findings: List[Finding] = []
+    for target in targets:
+        declared = suffix_domain(target.id)
+        if declared in (DB, LINEAR) and declared != inferred:
+            if id(target) in seen:
+                continue
+            seen.add(id(target))
+            findings.append(
+                ctx.finding(
+                    statement,
+                    "RL105",
+                    f"{target.id!r} declares the {declared} domain by "
+                    f"suffix but is assigned a {inferred}-domain value "
+                    "(by dataflow); rename it or convert the value",
+                )
+            )
+    return findings
 
 
 def _check_return_units(
